@@ -1,0 +1,27 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each benchmark runs one full figure sweep exactly once (``pedantic`` with a
+single round — the sweeps are end-to-end experiments, not micro-benchmarks)
+and prints the reproduced series table so the paper-vs-measured comparison
+is visible directly in the benchmark output.
+"""
+
+import os
+import sys
+
+# Allow running the benchmarks without an installed package (e.g. straight
+# from a source checkout).
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def seeds():
+    """Replication seeds for every figure sweep."""
+    return (0, 1, 2)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark *fn* with a single timed execution."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+"""Ablation — reader density at fixed region and tag population.
+
+Adding readers to a fixed region helps until interference dominates: the
+one-shot weight curve should rise (more coverage) and then flatten or bend
+(RTc/RRc crowding), and the covering schedule should keep shrinking much
+more slowly past the knee.  Locates the deployment-planning sweet spot the
+paper's introduction gestures at ("multiple RFID readers are needed…  to
+improve the read throughput").
+"""
+
+from benchmarks.conftest import run_once
+from repro.core import exact_mwfs, greedy_covering_schedule, get_solver
+from repro.deployment import Scenario
+
+READER_COUNTS = (10, 20, 40, 80)
+
+
+def _sweep():
+    rows = []
+    for seed in range(3):
+        for n in READER_COUNTS:
+            system = Scenario(
+                num_readers=n,
+                num_tags=600,
+                side=70.0,
+                lambda_interference=12,
+                lambda_interrogation=6,
+                seed=seed,
+            ).build()
+            oneshot = exact_mwfs(system, max_nodes=200_000)
+            schedule = greedy_covering_schedule(
+                system, get_solver("ptas"), seed=seed
+            )
+            coverable = int(system.covered_by_any().sum())
+            rows.append(
+                {
+                    "seed": seed,
+                    "n": n,
+                    "weight": oneshot.weight,
+                    "coverable": coverable,
+                    "slots": schedule.size,
+                    "edges": int(system.conflict.sum() // 2),
+                }
+            )
+    return rows
+
+
+def test_ablation_density(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print()
+    print("readers | coverable | one-shot weight | slots | graph edges")
+    means = {}
+    for n in READER_COUNTS:
+        sel = [r for r in rows if r["n"] == n]
+        weight = sum(r["weight"] for r in sel) / len(sel)
+        coverable = sum(r["coverable"] for r in sel) / len(sel)
+        slots = sum(r["slots"] for r in sel) / len(sel)
+        edges = sum(r["edges"] for r in sel) / len(sel)
+        means[n] = (weight, coverable)
+        print(
+            f"{n:7d} | {coverable:9.1f} | {weight:15.1f} | {slots:5.1f} | {edges:11.1f}"
+        )
+
+    # coverage (and hence achievable weight) grows with reader count ...
+    weights = [means[n][0] for n in READER_COUNTS]
+    assert weights[-1] > weights[0]
+    # ... with diminishing returns per added reader at the dense end
+    gain_lo = (means[20][0] - means[10][0]) / 10
+    gain_hi = (means[80][0] - means[40][0]) / 40
+    assert gain_hi < gain_lo
+    # per-slot efficiency: the one-shot never exceeds the coverable pool
+    for row in rows:
+        assert row["weight"] <= row["coverable"]

@@ -1,0 +1,81 @@
+"""Ablation — optimality gap of every heuristic against exact MWFS.
+
+Small instances (n = 18) where the branch-and-bound provably completes, so
+the measured ratios are true approximation factors: the PTAS should sit at
+or near 1.0, Algorithms 2/3 within their 1/ρ guarantees, GHC competitive,
+Colorwave and random clearly below.
+"""
+
+from benchmarks.conftest import run_once
+from repro.baselines import (
+    colorwave_oneshot,
+    greedy_hill_climbing,
+    random_feasible_set,
+)
+from repro.core import (
+    centralized_location_free,
+    distributed_mwfs,
+    exact_mwfs,
+    ptas_mwfs,
+)
+from repro.deployment import Scenario
+
+from repro.baselines.csma import csma_oneshot
+from repro.core.localsearch import local_search_mwfs
+
+ALGOS = {
+    "ptas": lambda s, seed: ptas_mwfs(s, k=3),
+    "centralized": lambda s, seed: centralized_location_free(s, rho=1.1),
+    "distributed": lambda s, seed: distributed_mwfs(s, rho=1.3, c=3),
+    "localsearch": lambda s, seed: local_search_mwfs(s, seed=seed),
+    "ghc": lambda s, seed: greedy_hill_climbing(s),
+    "ghc_naive": lambda s, seed: greedy_hill_climbing(s, gain_mode="coverage"),
+    "colorwave": lambda s, seed: colorwave_oneshot(s, seed=seed),
+    "csma": lambda s, seed: csma_oneshot(s, seed=seed),
+    "random": lambda s, seed: random_feasible_set(s, seed=seed),
+}
+
+
+def _sweep():
+    rows = []
+    for seed in range(6):
+        system = Scenario(
+            num_readers=18,
+            num_tags=320,
+            side=55,
+            lambda_interference=12,
+            lambda_interrogation=6,
+            seed=seed,
+        ).build()
+        exact = exact_mwfs(system, max_nodes=2_000_000, on_budget="raise")
+        assert not exact.meta["budget_exhausted"]
+        for name, fn in ALGOS.items():
+            res = fn(system, seed)
+            rows.append(
+                {
+                    "seed": seed,
+                    "algo": name,
+                    "weight": res.weight,
+                    "opt": exact.weight,
+                    "ratio": res.weight / exact.weight if exact.weight else 1.0,
+                }
+            )
+    return rows
+
+
+def test_ablation_exact_gap(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print()
+    print("algorithm   | mean ratio to exact | min ratio")
+    for name in ALGOS:
+        sel = [r for r in rows if r["algo"] == name]
+        mean = sum(r["ratio"] for r in sel) / len(sel)
+        worst = min(r["ratio"] for r in sel)
+        print(f"{name:11s} | {mean:19.3f} | {worst:.3f}")
+
+    for row in rows:
+        assert row["weight"] <= row["opt"], row
+        if row["algo"] == "centralized":
+            assert row["ratio"] >= 1 / 1.1 - 1e-9, row
+        if row["algo"] == "ptas":
+            assert row["ratio"] >= (1 - 1 / 3) ** 2 - 1e-9, row

@@ -1,0 +1,76 @@
+"""Ablation — link-layer cost of a scheduler time-slot.
+
+The paper abstracts TTc behind "framed Aloha or tree-splitting"; this bench
+quantifies that abstraction: micro-slots needed to inventory the
+well-covered tags of a PTAS slot under each protocol, plus the classical
+per-protocol efficiency on isolated populations (framed ALOHA peaks near
+1/e ≈ 0.37; tree walking costs ~2 queries/tag plus the prefix overhead).
+"""
+
+from benchmarks.conftest import run_once
+from repro.core import ptas_mwfs
+from repro.deployment import PAPER_SCENARIO
+from repro.linklayer import FramedAlohaReader, TreeWalkReader, run_inventory_session
+
+
+def _sweep():
+    rows = []
+    system = PAPER_SCENARIO.build(seed=5)
+    result = ptas_mwfs(system, k=3)
+    for protocol in ("aloha", "treewalk"):
+        for seed in range(5):
+            inv = run_inventory_session(
+                system, result.active, protocol=protocol, seed=seed
+            )
+            rows.append(
+                {
+                    "protocol": protocol,
+                    "tags": inv.tags_read,
+                    "duration": inv.duration,
+                    "work": inv.total_work,
+                    "efficiency": inv.efficiency,
+                }
+            )
+    # isolated-population efficiency curves
+    iso = []
+    for count in (8, 32, 128):
+        for seed in range(5):
+            a = FramedAlohaReader().inventory(count, seed=seed)
+            t = TreeWalkReader().inventory(num_tags=count, seed=seed)
+            iso.append(
+                {
+                    "count": count,
+                    "aloha_eff": a.efficiency,
+                    "tree_eff": t.efficiency,
+                }
+            )
+    return rows, iso
+
+
+def test_ablation_linklayer(benchmark):
+    rows, iso = run_once(benchmark, _sweep)
+    print()
+    print("protocol | tags | slot duration | total work | efficiency")
+    for protocol in ("aloha", "treewalk"):
+        sel = [r for r in rows if r["protocol"] == protocol]
+        tags = sel[0]["tags"]
+        dur = sum(r["duration"] for r in sel) / len(sel)
+        work = sum(r["work"] for r in sel) / len(sel)
+        eff = sum(r["efficiency"] for r in sel) / len(sel)
+        print(f"{protocol:8s} | {tags:4d} | {dur:13.1f} | {work:10.1f} | {eff:.3f}")
+
+    print("\npopulation | aloha eff | treewalk eff")
+    for count in (8, 32, 128):
+        sel = [r for r in iso if r["count"] == count]
+        a = sum(r["aloha_eff"] for r in sel) / len(sel)
+        t = sum(r["tree_eff"] for r in sel) / len(sel)
+        print(f"{count:10d} | {a:9.3f} | {t:12.3f}")
+
+    for row in rows:
+        assert row["tags"] > 0
+        assert 0 < row["efficiency"] <= 1.0
+    # Framed ALOHA cannot beat the perfect-scheduling bound, and the
+    # adaptive Q keeps it above a degenerate floor for these populations.
+    for r in iso:
+        assert 0.05 < r["aloha_eff"] <= 1.0
+        assert 0.2 < r["tree_eff"] <= 1.0

@@ -1,0 +1,71 @@
+"""Ablation — scheduling throughput under reader mobility.
+
+The location-free algorithms are motivated by dynamic reader positions;
+this bench quantifies the regime: tags served over a fixed horizon for
+static vs increasingly fast random-waypoint readers, with continuous tag
+arrivals.  Mobility should lift long-run throughput (coverage holes get
+swept) while keeping every epoch's schedule feasible.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core import get_solver
+from repro.dynamics import RandomWaypoint, StaticPositions, run_dynamic_simulation
+from repro.util.rng import as_rng
+
+SPEEDS = (0.0, 2.0, 5.0, 10.0)
+EPOCHS = 25
+
+
+def _sweep():
+    rows = []
+    solver = get_solver("centralized", rho=1.2)
+    for seed in range(3):
+        rng = as_rng(seed)
+        n, side = 14, 80.0
+        setup = dict(
+            reader_positions=rng.uniform(0, side, size=(n, 2)),
+            interference_radii=np.full(n, 10.0),
+            interrogation_radii=np.full(n, 6.0),
+            tag_positions=rng.uniform(0, side, size=(250, 2)),
+            side=side,
+            num_epochs=EPOCHS,
+            arrival_rate=4.0,
+            seed=seed,
+        )
+        for speed in SPEEDS:
+            mobility = (
+                StaticPositions()
+                if speed == 0.0
+                else RandomWaypoint(side=side, speed_range=(speed / 2, speed))
+            )
+            result = run_dynamic_simulation(solver=solver, mobility=mobility, **setup)
+            rows.append(
+                {
+                    "seed": seed,
+                    "speed": speed,
+                    "served": result.total_served,
+                    "throughput": result.throughput,
+                    "backlog": result.final_unread,
+                }
+            )
+    return rows
+
+
+def test_ablation_mobility(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print()
+    print("speed | tags served | throughput/epoch | final backlog")
+    means = {}
+    for speed in SPEEDS:
+        sel = [r for r in rows if r["speed"] == speed]
+        served = sum(r["served"] for r in sel) / len(sel)
+        tput = sum(r["throughput"] for r in sel) / len(sel)
+        backlog = sum(r["backlog"] for r in sel) / len(sel)
+        means[speed] = served
+        print(f"{speed:5.1f} | {served:11.1f} | {tput:16.2f} | {backlog:12.1f}")
+
+    # any mobility beats static coverage on served tags
+    for speed in SPEEDS[1:]:
+        assert means[speed] > means[0.0], (speed, means)

@@ -1,0 +1,65 @@
+"""Ablation — channel budget vs throughput (dense-reading-mode extension).
+
+Sweeps the number of RF channels on a dense deployment: one-shot weight
+should rise steeply from 1 → 2 channels (RTc relief) and flatten once RRc —
+which channels cannot fix — dominates.  Also compares the weight-aware
+greedy assigner against the k-colouring assigner of [13].
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.multichannel import (
+    coloring_multichannel_assignment,
+    greedy_multichannel_assignment,
+    multichannel_weight,
+)
+from repro.deployment import Scenario
+
+CHANNELS = (1, 2, 3, 4, 8)
+
+
+def _sweep():
+    rows = []
+    for seed in range(3):
+        system = Scenario(
+            num_readers=30,
+            num_tags=700,
+            side=45.0,
+            lambda_interference=16,
+            lambda_interrogation=7,
+            seed=seed,
+        ).build()
+        for c in CHANNELS:
+            greedy = multichannel_weight(
+                system, greedy_multichannel_assignment(system, c)
+            )
+            coloring = multichannel_weight(
+                system, coloring_multichannel_assignment(system, c)
+            )
+            rows.append(
+                {"seed": seed, "channels": c, "greedy": greedy, "coloring": coloring}
+            )
+    return rows
+
+
+def test_ablation_multichannel(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print()
+    print("channels | greedy weight | coloring weight")
+    means = {}
+    for c in CHANNELS:
+        sel = [r for r in rows if r["channels"] == c]
+        g = sum(r["greedy"] for r in sel) / len(sel)
+        k = sum(r["coloring"] for r in sel) / len(sel)
+        means[c] = g
+        print(f"{c:8d} | {g:13.1f} | {k:15.1f}")
+
+    # more channels never hurt (per seed, per assigner)
+    for seed in range(3):
+        series = [
+            next(r for r in rows if r["seed"] == seed and r["channels"] == c)["greedy"]
+            for c in CHANNELS
+        ]
+        assert all(a <= b + 1e-9 for a, b in zip(series, series[1:])), series
+
+    # diminishing returns: the 4→8 jump is smaller than the 1→2 jump
+    assert (means[8] - means[4]) <= (means[2] - means[1])

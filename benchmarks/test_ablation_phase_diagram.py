@@ -1,0 +1,56 @@
+"""Ablation — (λ_R, λ_r) phase diagram of the PTAS advantage.
+
+A 2-D sweep over both Poisson means locating where scheduling intelligence
+matters: the PTAS-over-Colorwave one-shot ratio as a function of
+interference density and interrogation reach.  The paper varies one axis at
+a time (Figures 8–9); the grid view shows the interaction — the advantage
+peaks where coverage is rich *and* interference forces hard choices.
+"""
+
+import zlib
+
+from benchmarks.conftest import run_once
+from repro.baselines.colorwave import colorwave_oneshot
+from repro.core.oneshot import get_solver
+from repro.deployment import Scenario
+from repro.util.rng import derive_seed
+
+LAMBDA_RS = (6.0, 12.0, 18.0)
+LAMBDA_rs = (3.0, 6.0, 9.0)
+
+
+def _sweep():
+    grid = {}
+    for lam_R in LAMBDA_RS:
+        for lam_r in LAMBDA_rs:
+            ratios = []
+            for seed in range(2):
+                system = Scenario(
+                    num_readers=40,
+                    num_tags=900,
+                    side=90.0,
+                    lambda_interference=lam_R,
+                    lambda_interrogation=lam_r,
+                    seed=seed,
+                ).build()
+                ptas = get_solver("ptas", k=3)(system, None, None)
+                cw = colorwave_oneshot(
+                    system, seed=derive_seed(seed, zlib.crc32(b"cw"))
+                )
+                ratios.append(ptas.weight / max(cw.weight, 1))
+            grid[(lam_R, lam_r)] = sum(ratios) / len(ratios)
+    return grid
+
+
+def test_ablation_phase_diagram(benchmark):
+    grid = run_once(benchmark, _sweep)
+    print()
+    print("PTAS / Colorwave one-shot weight ratio")
+    header = "lam_R\\lam_r | " + " | ".join(f"{v:5g}" for v in LAMBDA_rs)
+    print(header)
+    for lam_R in LAMBDA_RS:
+        row = " | ".join(f"{grid[(lam_R, v)]:5.2f}" for v in LAMBDA_rs)
+        print(f"{lam_R:11g} | {row}")
+
+    # the PTAS never loses to Colorwave anywhere on the grid
+    assert all(ratio >= 1.0 for ratio in grid.values()), grid

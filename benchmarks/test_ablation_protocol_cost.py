@@ -1,0 +1,73 @@
+"""Ablation — communication cost of the distributed protocol vs scale.
+
+Algorithm 3's price of decentralisation: rounds and messages as the
+deployment grows at constant spatial density.  Rounds should stay
+essentially flat (they are governed by the constant ``c``, not by n — the
+LOCAL-model selling point), while messages grow roughly linearly with the
+number of readers.  Colorwave's stabilisation cost is reported alongside.
+"""
+
+from benchmarks.conftest import run_once
+from repro.baselines import colorwave_coloring
+from repro.core.distributed import run_distributed_protocol
+from repro.deployment import Scenario
+
+SIZES = (25, 50, 100, 200)
+
+
+def _sweep():
+    rows = []
+    for n in SIZES:
+        for seed in range(3):
+            system = Scenario(
+                num_readers=n,
+                num_tags=10,  # tags don't matter for protocol cost
+                side=100.0 * (n / 50) ** 0.5,
+                lambda_interference=12,
+                lambda_interrogation=6,
+                seed=seed,
+            ).build()
+            outcome = run_distributed_protocol(system, rho=1.3, c=2)
+            cw = colorwave_coloring(system, seed=seed)
+            rows.append(
+                {
+                    "n": n,
+                    "seed": seed,
+                    "rounds": outcome.rounds,
+                    "messages": outcome.messages,
+                    "coordinators": len(outcome.coordinators),
+                    "cw_rounds": cw.rounds,
+                    "cw_messages": cw.messages,
+                }
+            )
+    return rows
+
+
+def test_ablation_protocol_cost(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print()
+    print("n | alg3 rounds | alg3 messages | coordinators | cw rounds | cw messages")
+    means = {}
+    for n in SIZES:
+        sel = [r for r in rows if r["n"] == n]
+        rounds = sum(r["rounds"] for r in sel) / len(sel)
+        msgs = sum(r["messages"] for r in sel) / len(sel)
+        coords = sum(r["coordinators"] for r in sel) / len(sel)
+        cw_rounds = sum(r["cw_rounds"] for r in sel) / len(sel)
+        cw_msgs = sum(r["cw_messages"] for r in sel) / len(sel)
+        means[n] = (rounds, msgs)
+        print(
+            f"{n:4d} | {rounds:11.1f} | {msgs:13.0f} | {coords:12.1f} "
+            f"| {cw_rounds:9.1f} | {cw_messages_fmt(cw_msgs)}"
+        )
+
+    # rounds are scale-free (within 3x across an 8x size range)
+    assert means[SIZES[-1]][0] <= 3 * means[SIZES[0]][0]
+    # message volume grows sublinearly-per-node: messages/n stays bounded
+    per_node_first = means[SIZES[0]][1] / SIZES[0]
+    per_node_last = means[SIZES[-1]][1] / SIZES[-1]
+    assert per_node_last <= 5 * per_node_first
+
+
+def cw_messages_fmt(value: float) -> str:
+    return f"{value:11.0f}"

@@ -1,0 +1,72 @@
+"""Ablation — PTAS grid parameter k and the polish pass.
+
+Theorem 2 promises a ``(1 − 1/k)²`` fraction of the optimum weight from the
+best shift; the sweep shows (a) raw shift quality improving with k, (b) the
+guarantee-preserving polish pass closing most of the remaining gap at any
+k, and (c) the k² cost of evaluating every shift.
+"""
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.core import exact_mwfs, ptas_mwfs
+from repro.deployment import Scenario
+
+
+def _sweep():
+    rows = []
+    for seed in range(3):
+        system = Scenario(
+            num_readers=40,
+            num_tags=800,
+            lambda_interference=14,
+            lambda_interrogation=6,
+            seed=seed,
+        ).build()
+        opt = exact_mwfs(system, max_nodes=400_000).weight
+        for k in (2, 3, 4):
+            for polish in (False, True):
+                t0 = time.perf_counter()
+                res = ptas_mwfs(system, k=k, polish=polish)
+                dt = time.perf_counter() - t0
+                rows.append(
+                    {
+                        "seed": seed,
+                        "k": k,
+                        "polish": polish,
+                        "weight": res.weight,
+                        "opt": opt,
+                        "ratio": res.weight / opt if opt else 1.0,
+                        "seconds": dt,
+                    }
+                )
+    return rows
+
+
+def test_ablation_ptas_k(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print()
+    print("k | polish | mean ratio to exact | mean seconds")
+    for k in (2, 3, 4):
+        for polish in (False, True):
+            sel = [r for r in rows if r["k"] == k and r["polish"] == polish]
+            ratio = sum(r["ratio"] for r in sel) / len(sel)
+            secs = sum(r["seconds"] for r in sel) / len(sel)
+            print(f"{k} | {str(polish):5s} | {ratio:19.3f} | {secs:.3f}")
+
+    for row in rows:
+        guarantee = (1 - 1 / row["k"]) ** 2
+        # Theorem 2 bound must hold for every instance (polish only helps).
+        assert row["weight"] >= guarantee * row["opt"] - 1e-9, row
+        assert row["weight"] <= row["opt"]
+
+    # Polish never hurts at any k.
+    for k in (2, 3, 4):
+        for seed in range(3):
+            raw = next(
+                r for r in rows if r["k"] == k and r["seed"] == seed and not r["polish"]
+            )
+            pol = next(
+                r for r in rows if r["k"] == k and r["seed"] == seed and r["polish"]
+            )
+            assert pol["weight"] >= raw["weight"]

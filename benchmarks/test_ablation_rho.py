@@ -1,0 +1,62 @@
+"""Ablation — growth threshold ρ = 1 + ε in Algorithms 2 and 3.
+
+Theorem 4/6 guarantee a ``1/ρ`` fraction of the optimum: smaller ρ should
+buy quality at the cost of wider neighbourhood exploration (and, for the
+distributed variant, more protocol rounds/messages).
+"""
+
+from benchmarks.conftest import run_once
+from repro.core import centralized_location_free, exact_mwfs
+from repro.core.distributed import run_distributed_protocol
+from repro.deployment import Scenario
+
+RHOS = (1.1, 1.3, 1.5, 2.0)
+
+
+def _sweep():
+    rows = []
+    for seed in range(3):
+        system = Scenario(
+            num_readers=40,
+            num_tags=800,
+            lambda_interference=14,
+            lambda_interrogation=6,
+            seed=seed,
+        ).build()
+        opt = exact_mwfs(system, max_nodes=400_000).weight
+        for rho in RHOS:
+            cent = centralized_location_free(system, rho=rho)
+            outcome = run_distributed_protocol(system, rho=rho, c=3)
+            rows.append(
+                {
+                    "seed": seed,
+                    "rho": rho,
+                    "opt": opt,
+                    "cent": cent.weight,
+                    "dist": outcome.result.weight,
+                    "rounds": outcome.rounds,
+                    "messages": outcome.messages,
+                    "max_radius": max(
+                        (it["radius"] for it in cent.meta["iterations"]), default=0
+                    ),
+                }
+            )
+    return rows
+
+
+def test_ablation_rho(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print()
+    print("rho | cent/opt | dist/opt | max r̄ | rounds | messages")
+    for rho in RHOS:
+        sel = [r for r in rows if r["rho"] == rho]
+        cent = sum(r["cent"] / r["opt"] for r in sel) / len(sel)
+        dist = sum(r["dist"] / r["opt"] for r in sel) / len(sel)
+        rmax = max(r["max_radius"] for r in sel)
+        rounds = sum(r["rounds"] for r in sel) / len(sel)
+        msgs = sum(r["messages"] for r in sel) / len(sel)
+        print(f"{rho:3.1f} | {cent:8.3f} | {dist:8.3f} | {rmax:5d} | {rounds:6.1f} | {msgs:8.0f}")
+
+    for row in rows:
+        # Theorem 4: the centralized result is a 1/rho approximation.
+        assert row["cent"] >= row["opt"] / row["rho"] - 1e-9, row

@@ -1,0 +1,64 @@
+"""Ablation — one-shot solver runtime vs system size.
+
+The PTAS and the location-free algorithms are polynomial; the exact solver
+is exponential (its budget caps it).  Tag count is scaled with reader count
+to keep density comparable to the paper workload.
+"""
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.core import (
+    centralized_location_free,
+    distributed_mwfs,
+    exact_mwfs,
+    ptas_mwfs,
+)
+from repro.baselines import greedy_hill_climbing
+from repro.deployment import Scenario
+
+SIZES = (25, 50, 100, 200)
+
+SOLVERS = {
+    "ptas": lambda s: ptas_mwfs(s, k=3),
+    "centralized": lambda s: centralized_location_free(s, rho=1.3),
+    "distributed": lambda s: distributed_mwfs(s, rho=1.3, c=2),
+    "ghc": lambda s: greedy_hill_climbing(s),
+    "exact(budget)": lambda s: exact_mwfs(s, max_nodes=100_000),
+}
+
+
+def _sweep():
+    rows = []
+    for n in SIZES:
+        system = Scenario(
+            num_readers=n,
+            num_tags=24 * n,
+            side=100.0 * (n / 50) ** 0.5,  # constant spatial density
+            lambda_interference=10,
+            lambda_interrogation=5,
+            seed=0,
+        ).build()
+        for name, fn in SOLVERS.items():
+            t0 = time.perf_counter()
+            res = fn(system)
+            dt = time.perf_counter() - t0
+            rows.append({"n": n, "solver": name, "seconds": dt, "weight": res.weight})
+    return rows
+
+
+def test_ablation_scaling(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print()
+    header = "n".rjust(5) + " | " + " | ".join(f"{k:>13s}" for k in SOLVERS)
+    print(header + "   (seconds)")
+    for n in SIZES:
+        cells = []
+        for name in SOLVERS:
+            r = next(x for x in rows if x["n"] == n and x["solver"] == name)
+            cells.append(f"{r['seconds']:13.3f}")
+        print(f"{n:5d} | " + " | ".join(cells))
+
+    # Every solver finishes the largest instance in reasonable time.
+    for row in rows:
+        assert row["seconds"] < 120.0, row

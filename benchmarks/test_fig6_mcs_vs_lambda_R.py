@@ -1,0 +1,26 @@
+"""Figure 6 — covering-schedule size vs λ_R (λ_r fixed at 5).
+
+Paper shape: Algorithm 1 needs the fewest slots, Algorithm 2 next,
+Algorithm 3 third, all well below Colorwave; sizes drift upward as the
+interference range grows (denser interference graph → smaller feasible
+sets per slot).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import FIGURE_DEFAULTS, format_series_table, run_figure
+
+SPEC = FIGURE_DEFAULTS["fig6"]
+
+
+def test_fig6_mcs_vs_lambda_R(benchmark, seeds):
+    result = run_once(benchmark, run_figure, SPEC, seeds)
+    print()
+    print(format_series_table(result, SPEC.title))
+
+    for value in SPEC.sweep_values:
+        ptas = result.stats[("ptas", value)].mean
+        colorwave = result.stats[("colorwave", value)].mean
+        # Headline claim: the paper's algorithms beat Colorwave everywhere.
+        assert ptas < colorwave, (value, ptas, colorwave)
+        # And every schedule completed within a sane slot count.
+        assert ptas < 4 * SPEC.num_readers

@@ -1,0 +1,30 @@
+"""Figure 7 — covering-schedule size vs λ_r (λ_R fixed at 10).
+
+Paper shape: same algorithm ordering as Figure 6; the gap between the
+paper's algorithms and the baselines widens as the interrogation range
+grows (more coverage → more scheduling opportunity for weight-aware
+algorithms to exploit).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import FIGURE_DEFAULTS, format_series_table, run_figure
+
+SPEC = FIGURE_DEFAULTS["fig7"]
+
+
+def test_fig7_mcs_vs_lambda_r(benchmark, seeds):
+    result = run_once(benchmark, run_figure, SPEC, seeds)
+    print()
+    print(format_series_table(result, SPEC.title))
+
+    for value in SPEC.sweep_values:
+        ptas = result.stats[("ptas", value)].mean
+        colorwave = result.stats[("colorwave", value)].mean
+        assert ptas < colorwave, (value, ptas, colorwave)
+
+    # Widening-gap claim: Colorwave's slot overhead relative to the PTAS is
+    # larger at the top of the sweep than at the bottom.
+    lo, hi = SPEC.sweep_values[0], SPEC.sweep_values[-1]
+    ratio_lo = result.stats[("colorwave", lo)].mean / result.stats[("ptas", lo)].mean
+    ratio_hi = result.stats[("colorwave", hi)].mean / result.stats[("ptas", hi)].mean
+    assert ratio_hi > ratio_lo, (ratio_lo, ratio_hi)

@@ -1,0 +1,26 @@
+"""Figure 8 — one-shot well-covered tags vs λ_r (λ_R fixed at 10).
+
+Paper shape: all three proposed algorithms sit well above Colorwave across
+the sweep, and the served-tag count rises with the interrogation range.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import FIGURE_DEFAULTS, format_series_table, run_figure
+
+SPEC = FIGURE_DEFAULTS["fig8"]
+
+
+def test_fig8_oneshot_vs_lambda_r(benchmark, seeds):
+    result = run_once(benchmark, run_figure, SPEC, seeds)
+    print()
+    print(format_series_table(result, SPEC.title))
+
+    for algo in ("ptas", "centralized", "distributed"):
+        for value in SPEC.sweep_values:
+            ours = result.stats[(algo, value)].mean
+            cw = result.stats[("colorwave", value)].mean
+            assert ours > cw, (algo, value, ours, cw)
+
+    # Monotone trend: more interrogation range → more tags served per slot.
+    ptas_curve = result.means("ptas")
+    assert ptas_curve[-1] > ptas_curve[0]

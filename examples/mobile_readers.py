@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Mobile readers: scheduling while the geometry drifts.
+
+The paper's core motivation for its location-free algorithms: "the position
+of each reader is often highly dynamic and we cannot expect that their exact
+geometry location can always be obtained."  Here forklift-mounted readers
+wander a yard (random-waypoint), new tagged stock arrives continuously, and
+the location-free Algorithm 2 re-solves the one-shot problem every epoch
+from a freshly measured interference graph — no coordinates consulted.
+
+Run:  python examples/mobile_readers.py
+"""
+
+import numpy as np
+
+from repro.core import get_solver
+from repro.dynamics import RandomWaypoint, StaticPositions, run_dynamic_simulation
+from repro.util.rng import as_rng
+
+
+def main() -> None:
+    rng = as_rng(12)
+    n_readers, side = 14, 80.0
+    setup = dict(
+        reader_positions=rng.uniform(0, side, size=(n_readers, 2)),
+        interference_radii=np.full(n_readers, 10.0),
+        interrogation_radii=np.full(n_readers, 6.0),
+        tag_positions=rng.uniform(0, side, size=(250, 2)),
+        side=side,
+        num_epochs=30,
+        arrival_rate=4.0,  # pallets keep arriving
+        seed=5,
+    )
+    solver = get_solver("centralized", rho=1.2)
+
+    print("yard: 14 forklift readers, 250 initial pallets, ~4 arrivals/epoch\n")
+
+    static = run_dynamic_simulation(
+        solver=solver, mobility=StaticPositions(), **setup
+    )
+    mobile = run_dynamic_simulation(
+        solver=solver,
+        mobility=RandomWaypoint(side=side, speed_range=(2.0, 6.0)),
+        **setup,
+    )
+
+    print("epoch | static served | mobile served | mobile graph edges")
+    for s, m in zip(static.epochs, mobile.epochs):
+        print(
+            f"{s.epoch:5d} | {s.tags_served:13d} | {m.tags_served:13d} "
+            f"| {m.graph_edges:6d}"
+        )
+
+    print(
+        f"\nstatic:  {static.total_served} served over 30 epochs "
+        f"({static.throughput:.1f}/epoch), backlog {static.final_unread}"
+    )
+    print(
+        f"mobile:  {mobile.total_served} served over 30 epochs "
+        f"({mobile.throughput:.1f}/epoch), backlog {mobile.final_unread}"
+    )
+    print(
+        "\nmobility lets the fleet sweep coverage holes that a static layout "
+        "can never reach, while the interference graph — the only input the "
+        "scheduler needs — is re-measured each epoch."
+    )
+
+
+if __name__ == "__main__":
+    main()

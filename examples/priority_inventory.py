@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Priority inventory: value-weighted scheduling.
+
+Definition 3 counts tags; a cold-chain warehouse counts *euros at risk*.
+Here a single dock gate has interference disks so large that only one of
+its readers can transmit per slot (a clique in the interference graph), and
+the two objectives genuinely disagree about who that should be:
+
+* the bulk lane holds many ordinary pallets;
+* the cold lane holds fewer pallets at 25x value.
+
+Demonstrates the weighted-MWFS extension against the unweighted optimum.
+
+Run:  python examples/priority_inventory.py
+"""
+
+import numpy as np
+
+from repro.core import exact_mwfs, weighted_mwfs
+from repro.model import build_system
+from repro.util.rng import as_rng
+
+
+def build_dock(seed: int = 31):
+    rng = as_rng(seed)
+    # three gate readers, mutually interfering (one clique): bulk lane,
+    # cold lane, staging area; plus one far-away yard reader that is
+    # independent of the gate.
+    readers = np.array(
+        [[15.0, 10.0], [35.0, 10.0], [25.0, 22.0], [90.0, 90.0]]
+    )
+    interference = np.array([40.0, 40.0, 40.0, 12.0])
+    interrogation = np.array([9.0, 9.0, 9.0, 8.0])
+
+    bulk = rng.normal([15.0, 10.0], 4.0, size=(120, 2))
+    cold = rng.normal([35.0, 10.0], 4.0, size=(45, 2))
+    staging = rng.normal([25.0, 22.0], 4.0, size=(70, 2))
+    yard = rng.normal([90.0, 90.0], 4.0, size=(40, 2))
+    tags = np.clip(np.vstack([bulk, cold, staging, yard]), 0.0, 100.0)
+
+    values = np.ones(len(tags))
+    cold_slice = slice(120, 165)
+    values[cold_slice] = 25.0
+    return build_system(readers, interference, interrogation, tags), values, cold_slice
+
+
+def main() -> None:
+    system, values, cold_slice = build_dock()
+    gate_edges = int(system.conflict[:3, :3].sum() // 2)
+    print(
+        f"dock: {system.num_readers} readers ({gate_edges} interfering gate "
+        f"pairs — one gate reader per slot), {system.num_tags} pallets, "
+        f"{cold_slice.stop - cold_slice.start} cold-chain @ 25x value"
+    )
+
+    plain = exact_mwfs(system)
+    weighted = weighted_mwfs(system, values)
+
+    cold_ids = set(range(cold_slice.start, cold_slice.stop))
+
+    def describe(name, result):
+        well = system.well_covered_tags(result.active)
+        value = float(values[well].sum())
+        ncold = len(cold_ids & set(well.tolist()))
+        print(
+            f"  {name:14s}: {len(well):3d} pallets, {ncold:3d} cold-chain, "
+            f"value {value:7.0f}, readers {result.active.tolist()}"
+        )
+        return value
+
+    print("\nfirst slot under each objective:")
+    v_plain = describe("count-optimal", plain)
+    v_weighted = describe("value-optimal", weighted)
+
+    gain = 100.0 * (v_weighted - v_plain) / v_plain if v_plain else 0.0
+    print(
+        f"\nweighting the objective recovers {gain:+.1f}% first-slot value: "
+        "the gate slot goes to the cold lane instead of the bulk lane."
+    )
+    assert v_weighted > v_plain
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Watch Algorithm 3 run: a round-by-round protocol trace.
+
+Attaches a tracer to the distributed scheduler and prints the node-state
+timeline — the gather phase (all White), the first coordinator waves, and
+the final colouring — plus the same run over asynchronous links via the
+α-synchronizer to show the protocol is delay-agnostic.
+
+Legend: w = White (undecided), r = Red (activate this slot),
+b = Black (yield this slot).
+
+Run:  python examples/protocol_trace.py
+"""
+
+from repro.core.distributed import RED, SchedulerNode, run_distributed_protocol
+from repro.deployment import Scenario
+from repro.distsim import Tracer
+from repro.distsim.async_engine import run_synchronous_over_async
+from repro.model import BitsetWeightOracle, adjacency_lists
+
+
+def main() -> None:
+    system = Scenario(
+        num_readers=24,
+        num_tags=400,
+        side=70.0,
+        lambda_interference=12,
+        lambda_interrogation=6,
+        seed=21,
+    ).build()
+    print(
+        f"floor: {system.num_readers} readers, "
+        f"{int(system.conflict.sum()) // 2} interference pairs\n"
+    )
+
+    tracer = Tracer(state_fn=lambda n: n.state[0])
+    outcome = run_distributed_protocol(system, rho=1.3, c=2, tracer=tracer)
+
+    print("synchronous run — one row per round, one column per reader:")
+    print(tracer.render())
+    print(
+        f"\nresult: {outcome.result.size} readers Red "
+        f"(weight {outcome.result.weight}), "
+        f"{len(outcome.coordinators)} coordinators, "
+        f"{outcome.rounds} rounds, {outcome.messages} messages"
+    )
+
+    # Same protocol, no global clock: asynchronous links + α-synchronizer.
+    oracle = BitsetWeightOracle(system)
+    adj = [a.tolist() for a in adjacency_lists(system)]
+    inner = [
+        SchedulerNode(i, oracle.cover_mask(i), rho=1.3, c=2)
+        for i in range(system.num_readers)
+    ]
+    _, stats = run_synchronous_over_async(
+        adj, inner, rounds=outcome.rounds + 5, seed=4, min_delay=0.2, max_delay=3.0
+    )
+    red = sorted(node.id for node in inner if node.state == RED)
+    same = red == sorted(outcome.result.active.tolist())
+    print(
+        f"\nasynchronous run (random delays 0.2–3.0, α-synchronizer): "
+        f"identical Red set: {same}; {stats.messages} messages "
+        f"(pulse overhead {stats.messages / max(outcome.messages, 1):.1f}x)"
+    )
+    assert same
+
+
+if __name__ == "__main__":
+    main()

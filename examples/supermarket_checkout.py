@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Supermarket aisles: heterogeneous readers and continuous re-scheduling.
+
+Models the paper's supermarket motivation: shelf readers along parallel
+aisles with *heterogeneous* antennas (the general-case model — prior work
+assumed identical interference radii), plus new tagged stock appearing
+between scheduling epochs.  Demonstrates:
+
+* building a system from explicit Reader/Tag entities (not a generator);
+* the ReadState workflow for populations that change over time;
+* how the one-shot scheduler adapts each epoch to what is still unread.
+
+Run:  python examples/supermarket_checkout.py
+"""
+
+import numpy as np
+
+from repro.core import get_solver
+from repro.deployment import aisle_deployment
+from repro.model import ReadState, build_system
+from repro.util.rng import as_rng
+
+
+def build_store(seed: int = 23):
+    placement = aisle_deployment(
+        num_aisles=6,
+        readers_per_aisle=9,
+        tags_per_aisle=120,
+        side=90.0,
+        aisle_width=6.0,
+        seed=seed,
+    )
+    n = len(placement.reader_positions)
+    rng = as_rng(seed)
+    # Heterogeneous hardware: alternating long-range ceiling antennas and
+    # short-range shelf antennas — the "various interference radius" case
+    # the paper's general model exists for.  Readers 10 units apart along an
+    # aisle, so the 16-unit antennas interfere with their aisle neighbours.
+    interference = np.where(np.arange(n) % 2 == 0, 16.0, 7.0)
+    interrogation = interference * rng.uniform(0.5, 0.75, size=n)
+    return build_system(
+        placement.reader_positions, interference, interrogation, placement.tag_positions
+    )
+
+
+def main() -> None:
+    system = build_store()
+    print(
+        f"store: {system.num_readers} readers on 6 aisles, "
+        f"{system.num_tags} tagged items"
+    )
+    radii = system.interference_radii
+    print(
+        f"heterogeneous interference radii: min={radii.min():g}, max={radii.max():g} "
+        f"(ratio {radii.max() / radii.min():.1f}x — outside the identical-radius "
+        "model of prior work)"
+    )
+
+    solver = get_solver("ptas", k=3)
+    state = ReadState(system.num_tags)
+    coverable = system.covered_by_any()
+
+    epoch = 0
+    rng = as_rng(99)
+    while True:
+        unread = state.unread_mask & coverable
+        if not unread.any():
+            break
+        result = solver(system, unread, None)
+        served = system.well_covered_tags(result.active, unread)
+        state.mark_read(served.tolist())
+        print(
+            f"epoch {epoch}: activated {result.size:2d} readers, "
+            f"served {len(served):3d} items, "
+            f"{int((state.unread_mask & coverable).sum()):3d} remaining"
+        )
+        epoch += 1
+
+        # Mid-schedule restock: every few epochs a delivery adds items that
+        # must be inventoried too — ReadState simply marks them unread again.
+        if epoch == 2:
+            restock = rng.choice(system.num_tags, size=60, replace=False)
+            fresh = ReadState(
+                system.num_tags,
+                unread=state.unread_mask
+                | np.isin(np.arange(system.num_tags), restock),
+            )
+            state = fresh
+            print(f"  restock: 60 items re-entered the system")
+
+        if epoch > 60:
+            raise RuntimeError("schedule failed to converge")
+
+    print(f"\nstore fully inventoried in {epoch} scheduling epochs")
+    uncovered = int((~coverable).sum())
+    if uncovered:
+        print(f"({uncovered} items sit outside every reader's range — move them "
+              "or add readers)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Comparison baselines from the paper's evaluation (Section VI).
+
+* :mod:`repro.baselines.colorwave` — Colorwave/DCS (Waldrop, Engels, Sarma,
+  WCNC 2003): distributed randomized TDMA colouring of the interference
+  graph with kick-on-collision and adaptive palette.  Weight-oblivious.
+* :mod:`repro.baselines.hillclimb` — the paper's Greedy Hill-Climbing (GHC):
+  grow the active set by the reader with maximum incremental weight until
+  the increment goes non-positive.
+* :mod:`repro.baselines.randomsched` — random maximal feasible set; the
+  sanity floor for one-shot quality.
+"""
+
+from repro.baselines.colorwave import (
+    ColorwaveConfig,
+    ColoringOutcome,
+    colorwave_coloring,
+    colorwave_covering_schedule,
+    colorwave_oneshot,
+)
+from repro.baselines.csma import (
+    csma_contention,
+    csma_covering_schedule,
+    csma_oneshot,
+)
+from repro.baselines.hillclimb import greedy_hill_climbing
+from repro.baselines.randomsched import random_feasible_set
+
+__all__ = [
+    "csma_contention",
+    "csma_oneshot",
+    "csma_covering_schedule",
+    "ColorwaveConfig",
+    "ColoringOutcome",
+    "colorwave_coloring",
+    "colorwave_oneshot",
+    "colorwave_covering_schedule",
+    "greedy_hill_climbing",
+    "random_feasible_set",
+]

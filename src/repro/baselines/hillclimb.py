@@ -1,0 +1,102 @@
+"""Greedy Hill-Climbing (GHC) baseline, as specified in Section VI.
+
+"At each step, we select a reader to add to current active reader set, in
+order to maximize the incremental weight together with other active readers
+at this time-slot.  Then we keep adding the reader to the active set one by
+one recursively until the weight starts to decrease (the incremental weight
+becomes negative) due to various collisions."
+
+GHC does **not** enforce feasibility — it may activate readers that put
+others into RTc; the generalised weight oracle (operational-reader rule of
+Definition 1) charges it for that, which is the intended handicap of this
+baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.oneshot import OneShotResult, make_result
+from repro.model.system import RFIDSystem
+from repro.util.rng import RngLike
+
+
+def greedy_hill_climbing(
+    system: RFIDSystem,
+    unread: Optional[np.ndarray] = None,
+    seed: RngLike = None,  # accepted for interface uniformity; deterministic
+    require_feasible: bool = False,
+    gain_mode: str = "weight",
+) -> OneShotResult:
+    """One-shot GHC: grow the active set by best incremental gain.
+
+    Parameters
+    ----------
+    require_feasible:
+        When True, only readers independent from the current set are
+        eligible (a stricter variant used in ablations); the paper's GHC
+        uses False.
+    gain_mode:
+        ``"weight"`` (default) scores a candidate by the true incremental
+        weight ``w(X ∪ {r}) − w(X)`` — the paper's wording, and a strong
+        heuristic because the weight oracle already charges for RTc/RRc.
+        ``"coverage"`` scores by the candidate's raw new-coverage count and
+        only *stops* on an actual weight decrease — a collision-naive
+        climber that blunders into interference, closer to how far below
+        the proposed algorithms the paper plots GHC.  Kept as an ablation
+        (see EXPERIMENTS.md).
+    """
+    if gain_mode not in ("weight", "coverage"):
+        raise ValueError(f"gain_mode must be 'weight' or 'coverage', got {gain_mode!r}")
+    n = system.num_readers
+    active: List[int] = []
+    current_w = 0
+    in_set = np.zeros(n, dtype=bool)
+    if unread is not None:
+        unread_arr = np.asarray(unread, dtype=bool)
+    else:
+        unread_arr = np.ones(system.num_tags, dtype=bool)
+    covered = np.zeros(system.num_tags, dtype=bool)
+
+    while True:
+        best_gain = 0
+        best_reader = None
+        best_weight = current_w
+        for r in range(n):
+            if in_set[r]:
+                continue
+            if require_feasible and active and system.conflict[r, active].any():
+                continue
+            if gain_mode == "weight":
+                w = system.weight(active + [r], unread)
+                gain = w - current_w
+            else:
+                gain = int((system.coverage[:, r] & unread_arr & ~covered).sum())
+                w = None
+            if gain > best_gain:
+                best_gain = gain
+                best_reader = r
+                best_weight = w
+        if best_reader is None or best_gain <= 0:
+            break
+        if gain_mode == "coverage":
+            # Collision-naive: only an actual weight drop stops the climb.
+            w_after = system.weight(active + [best_reader], unread)
+            if w_after < current_w:
+                break
+            best_weight = w_after
+            covered |= system.coverage[:, best_reader]
+        active.append(best_reader)
+        in_set[best_reader] = True
+        current_w = best_weight
+
+    return make_result(
+        system,
+        active,
+        unread,
+        solver="ghc",
+        require_feasible=require_feasible,
+        gain_mode=gain_mode,
+    )

@@ -1,0 +1,36 @@
+"""Random maximal feasible scheduling set — the sanity floor.
+
+Not part of the paper's comparison, but indispensable for calibrating how
+much of each algorithm's advantage is real: any scheduler worth running must
+beat a random independent set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.oneshot import OneShotResult, make_result
+from repro.model.system import RFIDSystem
+from repro.util.rng import RngLike, as_rng
+
+
+def random_feasible_set(
+    system: RFIDSystem,
+    unread: Optional[np.ndarray] = None,
+    seed: RngLike = None,
+) -> OneShotResult:
+    """Scan readers in random order, keeping each one that stays independent
+    of those already kept; the result is a uniformly-ordered maximal
+    independent set of the interference graph."""
+    rng = as_rng(seed)
+    n = system.num_readers
+    order = rng.permutation(n)
+    conflict = system.conflict
+    chosen: List[int] = []
+    for r in order:
+        r = int(r)
+        if not chosen or not conflict[r, chosen].any():
+            chosen.append(r)
+    return make_result(system, chosen, unread, solver="random")

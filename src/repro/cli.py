@@ -1,0 +1,267 @@
+"""Command-line interface.
+
+``rfid-sched`` exposes the two things a user wants without writing code:
+solve one instance (``solve``) and regenerate an evaluation figure
+(``figure``)::
+
+    rfid-sched solve --solver ptas --seed 7
+    rfid-sched solve --solver distributed --lambda-R 14 --schedule
+    rfid-sched figure fig8 --seeds 0 1 2
+    rfid-sched list-solvers
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines.colorwave import colorwave_covering_schedule
+from repro.core.mcs import greedy_covering_schedule
+from repro.core.oneshot import available_solvers, get_solver
+from repro.deployment.scenario import Scenario
+from repro.experiments.figures import FIGURE_DEFAULTS, SOLVER_KWARGS, run_figure
+from repro.experiments.reporting import format_series_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rfid-sched",
+        description="Reader activation scheduling for multi-reader RFID systems "
+        "(IPDPS 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve one instance")
+    solve.add_argument("--solver", default="ptas", help="solver name (see list-solvers)")
+    solve.add_argument("--readers", type=int, default=50)
+    solve.add_argument("--tags", type=int, default=1200)
+    solve.add_argument("--side", type=float, default=100.0)
+    solve.add_argument("--lambda-R", type=float, default=10.0, dest="lambda_R")
+    solve.add_argument("--lambda-r", type=float, default=5.0, dest="lambda_r")
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument(
+        "--schedule",
+        action="store_true",
+        help="run the full covering schedule instead of a single slot",
+    )
+    solve.add_argument(
+        "--linklayer",
+        choices=["aloha", "treewalk"],
+        default=None,
+        help="also account link-layer micro-slots per time-slot",
+    )
+
+    figure = sub.add_parser("figure", help="regenerate an evaluation figure")
+    figure.add_argument("figure_id", choices=sorted(FIGURE_DEFAULTS))
+    figure.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+
+    sub.add_parser("list-solvers", help="list registered solver names")
+
+    coverage = sub.add_parser(
+        "coverage", help="coverage report for a generated deployment"
+    )
+    for sp in (coverage,):
+        sp.add_argument("--readers", type=int, default=50)
+        sp.add_argument("--tags", type=int, default=1200)
+        sp.add_argument("--side", type=float, default=100.0)
+        sp.add_argument("--lambda-R", type=float, default=10.0, dest="lambda_R")
+        sp.add_argument("--lambda-r", type=float, default=5.0, dest="lambda_r")
+        sp.add_argument("--seed", type=int, default=0)
+    coverage.add_argument("--samples", type=int, default=20_000)
+
+    render = sub.add_parser("render", help="ASCII map of a deployment + one slot")
+    render.add_argument("--readers", type=int, default=30)
+    render.add_argument("--tags", type=int, default=300)
+    render.add_argument("--side", type=float, default=100.0)
+    render.add_argument("--lambda-R", type=float, default=10.0, dest="lambda_R")
+    render.add_argument("--lambda-r", type=float, default=5.0, dest="lambda_r")
+    render.add_argument("--seed", type=int, default=0)
+    render.add_argument("--solver", default="ptas")
+    render.add_argument("--width", type=int, default=72)
+
+    report = sub.add_parser(
+        "report", help="run every figure and write a markdown reproduction report"
+    )
+    report.add_argument("--out", default=None, help="output path (default: stdout)")
+    report.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+
+    sweep = sub.add_parser(
+        "sweep", help="custom one-shot sweep over lambda_R or lambda_r"
+    )
+    sweep.add_argument("--param", choices=["lambda_R", "lambda_r"], required=True)
+    sweep.add_argument("--values", type=float, nargs="+", required=True)
+    sweep.add_argument("--fixed", type=float, default=None,
+                       help="value of the non-swept lambda (defaults: 10 / 5)")
+    sweep.add_argument("--algos", nargs="+", default=["ptas", "centralized", "ghc"])
+    sweep.add_argument("--metric", choices=["oneshot_weight", "mcs_size"],
+                       default="oneshot_weight")
+    sweep.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+    sweep.add_argument("--readers", type=int, default=50)
+    sweep.add_argument("--tags", type=int, default=1200)
+    sweep.add_argument("--side", type=float, default=100.0)
+    sweep.add_argument("--save", default=None, help="write the raw sweep to JSON")
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    scenario = Scenario(
+        num_readers=args.readers,
+        num_tags=args.tags,
+        side=args.side,
+        lambda_interference=args.lambda_R,
+        lambda_interrogation=args.lambda_r,
+        seed=args.seed,
+    )
+    system = scenario.build()
+    print(
+        f"instance: {args.readers} readers, {args.tags} tags, "
+        f"side={args.side:g}, lambda_R={args.lambda_R:g}, "
+        f"lambda_r={args.lambda_r:g}, seed={args.seed}"
+    )
+    print(f"coverable tags: {int(system.covered_by_any().sum())}/{system.num_tags}")
+
+    if args.schedule:
+        if args.solver == "colorwave":
+            result = colorwave_covering_schedule(system, seed=args.seed)
+        else:
+            solver = get_solver(args.solver, **SOLVER_KWARGS.get(args.solver, {}))
+            result = greedy_covering_schedule(
+                system, solver, linklayer=args.linklayer, seed=args.seed
+            )
+        print(f"covering schedule: {result.size} slots, complete={result.complete}")
+        print(f"tags read: {result.tags_read_total}; per-slot: {result.reads_per_slot()}")
+        if args.linklayer:
+            print(f"link-layer duration: {result.total_micro_slots} micro-slots")
+    else:
+        solver = get_solver(args.solver, **SOLVER_KWARGS.get(args.solver, {}))
+        result = solver(system, None, args.seed)
+        print(
+            f"one-shot ({args.solver}): weight={result.weight} "
+            f"active={result.active.tolist()} feasible={result.feasible}"
+        )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    spec = FIGURE_DEFAULTS[args.figure_id]
+    result = run_figure(spec, seeds=tuple(args.seeds))
+    print(format_series_table(result, spec.title))
+    return 0
+
+
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
+    return Scenario(
+        num_readers=args.readers,
+        num_tags=args.tags,
+        side=args.side,
+        lambda_interference=args.lambda_R,
+        lambda_interrogation=args.lambda_r,
+        seed=args.seed,
+    )
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    from repro.model.regions import coverage_report
+
+    system = _scenario_from_args(args).build()
+    report = coverage_report(system, side=args.side, samples=args.samples, seed=args.seed)
+    print(
+        f"monitored region M: {100 * report.monitored_fraction:.1f}% of the "
+        f"area ({report.monitored_area:.0f} units²)"
+    )
+    print(
+        f"RRc-exposed overlap (≥2 interrogation regions): "
+        f"{100 * report.overlap_fraction:.1f}% ({report.rrc_exposed_area:.0f} units²)"
+    )
+    print(f"mean coverage depth: {report.mean_coverage_depth:.2f}")
+    print("coverage depth histogram:")
+    for depth, frac in sorted(report.coverage_histogram.items()):
+        print(f"  {depth} readers: {100 * frac:5.1f}%")
+    covered_tags = int(system.covered_by_any().sum())
+    print(f"coverable tags: {covered_tags}/{system.num_tags}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.viz import render_deployment, render_schedule_timeline
+    from repro.experiments.analysis import summarize_schedule
+
+    system = _scenario_from_args(args).build()
+    solver = get_solver(args.solver, **SOLVER_KWARGS.get(args.solver, {}))
+    result = solver(system, None, args.seed)
+    print(render_deployment(system, active=result.active, width=args.width, side=args.side))
+    print(f"\none-shot ({args.solver}): weight={result.weight}, {result.size} readers active")
+    schedule = greedy_covering_schedule(system, solver, seed=args.seed)
+    print("\ncovering schedule:")
+    print(render_schedule_timeline(schedule.reads_per_slot()))
+    print("\n" + summarize_schedule(system, schedule))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import FigureSpec
+
+    fixed = args.fixed
+    if fixed is None:
+        fixed = 5.0 if args.param == "lambda_R" else 10.0
+    spec = FigureSpec(
+        figure_id="custom",
+        title=f"custom sweep: {args.metric} vs {args.param} "
+        f"({'lambda_r' if args.param == 'lambda_R' else 'lambda_R'}={fixed:g})",
+        metric=args.metric,
+        sweep_param=args.param,
+        sweep_values=tuple(args.values),
+        fixed_lambda_R=None if args.param == "lambda_R" else fixed,
+        fixed_lambda_r=None if args.param == "lambda_r" else fixed,
+        algorithms=tuple(args.algos),
+        num_readers=args.readers,
+        num_tags=args.tags,
+        side=args.side,
+    )
+    from repro.experiments.figures import run_figure
+
+    result = run_figure(spec, seeds=tuple(args.seeds))
+    print(format_series_table(result, spec.title))
+    if args.save:
+        from repro.io import save_sweep
+
+        save_sweep(result, args.save)
+        print(f"saved raw sweep to {args.save}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "coverage":
+        return _cmd_coverage(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        text = generate_report(seeds=tuple(args.seeds))
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(text)
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+        return 0
+    if args.command == "render":
+        return _cmd_render(args)
+    if args.command == "list-solvers":
+        for name in available_solvers():
+            print(name)
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

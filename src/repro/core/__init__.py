@@ -1,0 +1,74 @@
+"""The paper's scheduling algorithms.
+
+One-shot solvers (Definition 6 — find a maximum weighted feasible scheduling
+set for the current unread population):
+
+* :func:`repro.core.exact.exact_mwfs` — exponential ground truth (small n);
+* :func:`repro.core.ptas.ptas_mwfs` — Algorithm 1, shifted-grid PTAS with
+  location information;
+* :func:`repro.core.neighborhood.centralized_location_free` — Algorithm 2,
+  centralized, interference-graph only;
+* :func:`repro.core.distributed.distributed_mwfs` — Algorithm 3, fully
+  distributed on :mod:`repro.distsim`.
+
+The covering-schedule driver (Definitions 4/5) is
+:func:`repro.core.mcs.greedy_covering_schedule`; it accepts any solver via
+the :class:`repro.core.oneshot.OneShotSolver` protocol, and
+:func:`repro.core.oneshot.get_solver` resolves solvers (including the
+baselines) by name for the experiment harness.
+"""
+
+from repro.core.distributed import DistributedOutcome, distributed_mwfs
+from repro.core.exact import SearchBudgetExceeded, exact_mwfs, weighted_mwfs
+from repro.core.localsearch import local_search_mwfs
+from repro.core.mcs import ScheduleResult, SlotRecord, greedy_covering_schedule
+from repro.core.mcs_exact import (
+    ExactScheduleResult,
+    McsSearchExploded,
+    exact_covering_schedule,
+)
+from repro.core.multichannel import (
+    ChannelAssignment,
+    coloring_multichannel_assignment,
+    greedy_multichannel_assignment,
+    is_channel_feasible,
+    multichannel_covering_schedule,
+    multichannel_weight,
+)
+from repro.core.neighborhood import centralized_location_free
+from repro.core.oneshot import (
+    OneShotResult,
+    OneShotSolver,
+    available_solvers,
+    get_solver,
+    register_solver,
+)
+from repro.core.ptas import ptas_mwfs
+
+__all__ = [
+    "OneShotResult",
+    "OneShotSolver",
+    "available_solvers",
+    "get_solver",
+    "register_solver",
+    "exact_mwfs",
+    "weighted_mwfs",
+    "SearchBudgetExceeded",
+    "ptas_mwfs",
+    "centralized_location_free",
+    "distributed_mwfs",
+    "DistributedOutcome",
+    "greedy_covering_schedule",
+    "ScheduleResult",
+    "SlotRecord",
+    "exact_covering_schedule",
+    "ExactScheduleResult",
+    "McsSearchExploded",
+    "local_search_mwfs",
+    "ChannelAssignment",
+    "greedy_multichannel_assignment",
+    "coloring_multichannel_assignment",
+    "is_channel_feasible",
+    "multichannel_weight",
+    "multichannel_covering_schedule",
+]

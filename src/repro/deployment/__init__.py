@@ -1,0 +1,32 @@
+"""Deployment generation.
+
+Reconstructs the paper's simulation workload (Section VI): 50 readers and
+1200 tags uniform in a 100×100 square, interference radii ``R_i`` drawn from
+``Poisson(λ_R)`` and interrogation radii ``γ_i`` from ``Poisson(λ_r)``, with
+assignments adjusted so ``R_i ≥ γ_i``.  Clustered and aisle layouts support
+the domain examples (warehouse, supermarket).
+"""
+
+from repro.deployment.generators import (
+    aisle_deployment,
+    clustered_deployment,
+    grid_deployment,
+    uniform_deployment,
+)
+from repro.deployment.radii import sample_radii
+from repro.deployment.scenario import (
+    PAPER_SCENARIO,
+    Scenario,
+    build_scenario_system,
+)
+
+__all__ = [
+    "Scenario",
+    "PAPER_SCENARIO",
+    "build_scenario_system",
+    "sample_radii",
+    "uniform_deployment",
+    "clustered_deployment",
+    "grid_deployment",
+    "aisle_deployment",
+]

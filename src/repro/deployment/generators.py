@@ -1,0 +1,140 @@
+"""Spatial layout generators for readers and tags.
+
+:func:`uniform_deployment` reproduces the paper's workload; the clustered,
+grid and aisle variants back the domain examples and stress the schedulers
+with non-uniform interference graphs (dense hotspots, regular lattices,
+corridor-shaped overlap patterns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import RngLike, as_rng
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Raw reader/tag coordinates produced by a generator."""
+
+    reader_positions: np.ndarray
+    tag_positions: np.ndarray
+    side: float
+
+
+def uniform_deployment(
+    num_readers: int,
+    num_tags: int,
+    side: float = 100.0,
+    seed: RngLike = None,
+) -> Placement:
+    """Uniform-random readers and tags in a ``side × side`` square
+    (paper Section VI: 50 readers, 1200 tags, side 100)."""
+    check_positive("side", side)
+    if num_readers < 0 or num_tags < 0:
+        raise ValueError("counts must be >= 0")
+    rng = as_rng(seed)
+    readers = rng.uniform(0.0, side, size=(num_readers, 2))
+    tags = rng.uniform(0.0, side, size=(num_tags, 2))
+    return Placement(readers, tags, float(side))
+
+
+def clustered_deployment(
+    num_readers: int,
+    num_tags: int,
+    num_clusters: int,
+    side: float = 100.0,
+    cluster_std: float = 6.0,
+    tag_cluster_fraction: float = 0.8,
+    seed: RngLike = None,
+) -> Placement:
+    """Tags concentrated around cluster centres (e.g. pallets in a
+    warehouse); readers placed near clusters with jitter.
+
+    ``tag_cluster_fraction`` of the tags are Gaussian around the centres,
+    the remainder uniform background.
+    """
+    check_positive("side", side)
+    check_positive("cluster_std", cluster_std)
+    if num_clusters <= 0:
+        raise ValueError(f"num_clusters must be > 0, got {num_clusters}")
+    if not 0.0 <= tag_cluster_fraction <= 1.0:
+        raise ValueError("tag_cluster_fraction must be in [0, 1]")
+    rng = as_rng(seed)
+    centers = rng.uniform(0.15 * side, 0.85 * side, size=(num_clusters, 2))
+
+    def around_centers(count: int, std: float) -> np.ndarray:
+        if count == 0:
+            return np.empty((0, 2))
+        which = rng.integers(0, num_clusters, size=count)
+        pts = centers[which] + rng.normal(0.0, std, size=(count, 2))
+        return np.clip(pts, 0.0, side)
+
+    readers = around_centers(num_readers, 2.0 * cluster_std)
+    n_clustered = int(round(tag_cluster_fraction * num_tags))
+    tags_clustered = around_centers(n_clustered, cluster_std)
+    tags_uniform = rng.uniform(0.0, side, size=(num_tags - n_clustered, 2))
+    tags = np.vstack([tags_clustered, tags_uniform]) if num_tags else np.empty((0, 2))
+    return Placement(readers, tags, float(side))
+
+
+def grid_deployment(
+    rows: int,
+    cols: int,
+    num_tags: int,
+    side: float = 100.0,
+    jitter: float = 0.0,
+    seed: RngLike = None,
+) -> Placement:
+    """Readers on a ``rows × cols`` lattice (planned deployments of prior
+    work [7], [9]); tags uniform.  Optional positional jitter."""
+    check_positive("side", side)
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be > 0")
+    if jitter < 0:
+        raise ValueError(f"jitter must be >= 0, got {jitter}")
+    rng = as_rng(seed)
+    xs = (np.arange(cols) + 0.5) * (side / cols)
+    ys = (np.arange(rows) + 0.5) * (side / rows)
+    gx, gy = np.meshgrid(xs, ys)
+    readers = np.column_stack([gx.ravel(), gy.ravel()])
+    if jitter > 0:
+        readers = np.clip(readers + rng.normal(0.0, jitter, readers.shape), 0.0, side)
+    tags = rng.uniform(0.0, side, size=(num_tags, 2))
+    return Placement(readers, tags, float(side))
+
+
+def aisle_deployment(
+    num_aisles: int,
+    readers_per_aisle: int,
+    tags_per_aisle: int,
+    side: float = 100.0,
+    aisle_width: float = 4.0,
+    seed: RngLike = None,
+) -> Placement:
+    """Supermarket/warehouse aisles: readers spaced along parallel aisles,
+    tags scattered in narrow bands around each aisle's centre line."""
+    check_positive("side", side)
+    check_positive("aisle_width", aisle_width)
+    if num_aisles <= 0 or readers_per_aisle <= 0 or tags_per_aisle < 0:
+        raise ValueError("aisle counts must be positive (tags may be 0)")
+    rng = as_rng(seed)
+    aisle_ys = (np.arange(num_aisles) + 0.5) * (side / num_aisles)
+    reader_rows = []
+    tag_rows = []
+    for y in aisle_ys:
+        xs = (np.arange(readers_per_aisle) + 0.5) * (side / readers_per_aisle)
+        reader_rows.append(np.column_stack([xs, np.full(readers_per_aisle, y)]))
+        tx = rng.uniform(0.0, side, size=tags_per_aisle)
+        ty = np.clip(
+            y + rng.uniform(-aisle_width / 2, aisle_width / 2, size=tags_per_aisle),
+            0.0,
+            side,
+        )
+        tag_rows.append(np.column_stack([tx, ty]))
+    readers = np.vstack(reader_rows)
+    tags = np.vstack(tag_rows) if tags_per_aisle else np.empty((0, 2))
+    return Placement(readers, tags, float(side))

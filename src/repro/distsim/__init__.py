@@ -1,0 +1,46 @@
+"""Synchronous message-passing simulator.
+
+The paper's distributed scheduler (Algorithm 3) and the Colorwave baseline
+both assume readers that exchange messages with interference-graph
+neighbours.  :mod:`repro.distsim` provides that runtime: a synchronous-round
+engine (:class:`~repro.distsim.engine.SyncEngine`) in the standard LOCAL
+model — messages sent in round *t* arrive at round *t+1* — plus hop-bounded
+flooding (:class:`~repro.distsim.flooding.FloodService`) for the
+``(2c+2)``-neighbourhood information gathering the algorithm requires.
+
+Metrics (rounds, message count) are first-class so benchmarks can report the
+communication cost of distribution, not just schedule quality.
+"""
+
+from repro.distsim.async_engine import (
+    AlphaSynchronizer,
+    AsyncEngine,
+    AsyncNode,
+    run_synchronous_over_async,
+)
+from repro.distsim.engine import EngineStats, Node, SyncEngine
+from repro.distsim.flooding import (
+    FloodAck,
+    FloodMessage,
+    FloodService,
+    ReliableFloodService,
+)
+from repro.distsim.messages import Message
+from repro.distsim.trace import RoundTrace, Tracer
+
+__all__ = [
+    "SyncEngine",
+    "Node",
+    "EngineStats",
+    "Message",
+    "FloodMessage",
+    "FloodService",
+    "FloodAck",
+    "ReliableFloodService",
+    "AsyncEngine",
+    "AsyncNode",
+    "AlphaSynchronizer",
+    "run_synchronous_over_async",
+    "Tracer",
+    "RoundTrace",
+]

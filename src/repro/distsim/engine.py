@@ -1,0 +1,197 @@
+"""Synchronous-round (LOCAL-model) execution engine.
+
+Every round the engine delivers the previous round's messages to each node's
+``on_round`` handler and collects new outgoing messages.  Nodes only ever
+address interference-graph neighbours; sending to a non-neighbour raises,
+which keeps protocol implementations honest about locality.
+
+The engine is deterministic given the nodes' own determinism: nodes are
+stepped in id order and inboxes are sorted by sender id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.distsim.messages import Message
+
+
+@dataclass
+class EngineStats:
+    """Cumulative execution metrics."""
+
+    rounds: int = 0
+    messages: int = 0
+    dropped: int = 0
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Sum of two stat blocks."""
+        return EngineStats(
+            rounds=self.rounds + other.rounds,
+            messages=self.messages + other.messages,
+            dropped=self.dropped + other.dropped,
+        )
+
+
+class Node:
+    """Base class for protocol nodes.
+
+    Subclasses implement :meth:`on_round`; they send by calling
+    :meth:`send` / :meth:`broadcast` from within it.  ``self.neighbors`` is
+    populated by the engine before the first round.
+    """
+
+    def __init__(self, node_id: int):
+        self.id = int(node_id)
+        self.neighbors: List[int] = []
+        self._outbox: List[Message] = []
+        self._round = -1
+
+    # -- messaging API (valid inside on_round) --------------------------
+    def send(self, receiver: int, payload: Any) -> None:
+        """Queue *payload* for a neighbour; delivered next round."""
+        if receiver not in self._neighbor_set:
+            raise ValueError(
+                f"node {self.id} cannot send to non-neighbor {receiver}"
+            )
+        self._outbox.append(Message(self.id, int(receiver), payload, self._round))
+
+    def broadcast(self, payload: Any) -> None:
+        """Queue *payload* for every neighbour."""
+        for v in self.neighbors:
+            self._outbox.append(Message(self.id, v, payload, self._round))
+
+    # -- hooks -----------------------------------------------------------
+    def on_start(self) -> None:
+        """Called once before round 0."""
+
+    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+        """Called every round with the messages delivered this round."""
+        raise NotImplementedError
+
+    def is_idle(self) -> bool:
+        """Quiescence vote: engine stops when all nodes are idle and no
+        messages are in flight."""
+        return True
+
+    # -- engine internals -------------------------------------------------
+    def _attach(self, neighbors: Sequence[int]) -> None:
+        self.neighbors = sorted(int(v) for v in neighbors)
+        self._neighbor_set = set(self.neighbors)
+
+    def _step(self, round_no: int, inbox: Sequence[Message]) -> List[Message]:
+        self._round = round_no
+        self._outbox = []
+        self.on_round(round_no, inbox)
+        out, self._outbox = self._outbox, []
+        return out
+
+
+class SyncEngine:
+    """Drives a set of nodes over an undirected topology.
+
+    Parameters
+    ----------
+    adjacency:
+        ``adjacency[i]`` lists the neighbours of node *i*.
+    nodes:
+        One :class:`Node` per topology vertex, ids ``0..n-1`` in order.
+    """
+
+    def __init__(
+        self,
+        adjacency: Sequence[Sequence[int]],
+        nodes: Sequence[Node],
+        loss_rate: float = 0.0,
+        seed=None,
+        tracer=None,
+    ):
+        n = len(adjacency)
+        if len(nodes) != n:
+            raise ValueError(f"{len(nodes)} nodes for {n} topology vertices")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.loss_rate = float(loss_rate)
+        from repro.util.rng import as_rng
+
+        self._loss_rng = as_rng(seed)
+        self.tracer = tracer
+        self.nodes: List[Node] = list(nodes)
+        for i, node in enumerate(self.nodes):
+            if node.id != i:
+                raise ValueError(f"node at index {i} has id {node.id}")
+            node._attach(adjacency[i])
+        # symmetry check
+        neighbor_sets = [set(int(v) for v in adj) for adj in adjacency]
+        for i, adj in enumerate(neighbor_sets):
+            for j in adj:
+                if i == j:
+                    raise ValueError(f"self-loop at node {i}")
+                if i not in neighbor_sets[j]:
+                    raise ValueError(f"asymmetric adjacency between {i} and {j}")
+        self.stats = EngineStats()
+        self._in_flight: List[Message] = []
+        self._started = False
+
+    def _start(self) -> None:
+        """Run every node's on_start hook; messages it sends are delivered
+        in round 0 (subject to the same loss process as every round)."""
+        for node in self.nodes:
+            node._outbox = []
+            node.on_start()
+            self._in_flight.extend(node._outbox)
+            node._outbox = []
+        self.stats.messages += len(self._in_flight)
+        if self.loss_rate > 0.0 and self._in_flight:
+            keep = self._loss_rng.random(len(self._in_flight)) >= self.loss_rate
+            dropped = [m for m, k in zip(self._in_flight, keep) if not k]
+            self._in_flight = [m for m, k in zip(self._in_flight, keep) if k]
+            self.stats.dropped += len(dropped)
+        self._started = True
+
+    def run(self, max_rounds: int = 10_000) -> EngineStats:
+        """Execute rounds until quiescence (no in-flight messages and every
+        node votes idle) or *max_rounds*; returns cumulative stats."""
+        if max_rounds <= 0:
+            raise ValueError(f"max_rounds must be > 0, got {max_rounds}")
+        if not self._started:
+            self._start()
+        for _ in range(max_rounds):
+            if not self._in_flight and all(n.is_idle() for n in self.nodes):
+                break
+            self.step()
+        return self.stats
+
+    def step(self) -> None:
+        """Execute exactly one round."""
+        if not self._started:
+            self._start()
+        round_no = self.stats.rounds
+        inboxes: Dict[int, List[Message]] = {n.id: [] for n in self.nodes}
+        for msg in self._in_flight:
+            inboxes[msg.receiver].append(msg)
+        for box in inboxes.values():
+            box.sort(key=lambda m: m.sender)
+        delivered = self._in_flight
+        outgoing: List[Message] = []
+        for node in self.nodes:
+            outgoing.extend(node._step(round_no, inboxes[node.id]))
+        self.stats.rounds += 1
+        self.stats.messages += len(outgoing)
+        if self.tracer is not None:
+            self.tracer.record_round(round_no, delivered, outgoing, self.nodes)
+        if self.loss_rate > 0.0 and outgoing:
+            keep = self._loss_rng.random(len(outgoing)) >= self.loss_rate
+            outgoing = [m for m, k in zip(outgoing, keep) if k]
+            self.stats.dropped += int((~keep).sum())
+        self._in_flight = outgoing
+
+    @property
+    def in_flight(self) -> int:
+        """Messages awaiting delivery next round."""
+        return len(self._in_flight)
+
+    def node(self, node_id: int) -> Node:
+        """The node with the given id."""
+        return self.nodes[node_id]

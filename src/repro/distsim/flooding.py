@@ -1,0 +1,169 @@
+"""Hop-bounded flooding on top of the synchronous engine.
+
+Algorithm 3 requires each reader to "collect the information from its
+(2c+2)-hop neighborhood" and later to announce results "among
+N(v)^{r̄+1+2c+2}".  :class:`FloodService` implements the standard echo-free
+flood: an origin injects a payload with a TTL; every node relays each flood
+exactly once while the TTL lasts.  A flood with TTL ``h`` reaches exactly the
+``h``-hop ball of its origin after ``h`` rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.distsim.messages import Message
+
+
+@dataclass(frozen=True)
+class FloodMessage:
+    """Payload envelope for a hop-bounded flood."""
+
+    origin: int
+    seq: int
+    ttl: int
+    body: Any
+
+
+class FloodService:
+    """Per-node flooding state machine.
+
+    Owned by a :class:`~repro.distsim.engine.Node`; the node calls
+    :meth:`originate` to start a flood and :meth:`handle` from its
+    ``on_round`` for every incoming :class:`FloodMessage`.  ``on_deliver`` is
+    invoked exactly once per distinct flood that reaches this node
+    (including the node's own floods).
+    """
+
+    def __init__(
+        self,
+        node: "Node",  # noqa: F821 - forward ref to engine.Node
+        on_deliver: Optional[Callable[[FloodMessage], None]] = None,
+    ):
+        self._node = node
+        self._seen: Set[Tuple[int, int]] = set()
+        self._next_seq = 0
+        self._on_deliver = on_deliver
+
+    def originate(self, body: Any, ttl: int) -> FloodMessage:
+        """Start a new flood from this node with the given hop bound."""
+        if ttl < 0:
+            raise ValueError(f"ttl must be >= 0, got {ttl}")
+        fm = FloodMessage(origin=self._node.id, seq=self._next_seq, ttl=ttl, body=body)
+        self._next_seq += 1
+        self._seen.add((fm.origin, fm.seq))
+        if self._on_deliver is not None:
+            self._on_deliver(fm)
+        if ttl > 0:
+            self._node.broadcast(fm)
+        return fm
+
+    def handle(self, msg: Message) -> None:
+        """Process one incoming engine message carrying a FloodMessage."""
+        fm = msg.payload
+        if not isinstance(fm, FloodMessage):
+            raise TypeError(f"FloodService received non-flood payload: {fm!r}")
+        key = (fm.origin, fm.seq)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        if self._on_deliver is not None:
+            self._on_deliver(fm)
+        if fm.ttl > 1:
+            relay = FloodMessage(fm.origin, fm.seq, fm.ttl - 1, fm.body)
+            self._node.broadcast(relay)
+
+    def has_seen(self, origin: int, seq: int) -> bool:
+        """Whether this node already delivered flood (origin, seq)."""
+        return (origin, seq) in self._seen
+
+
+@dataclass(frozen=True)
+class FloodAck:
+    """Per-hop acknowledgement for :class:`ReliableFloodService`."""
+
+    origin: int
+    seq: int
+
+
+class ReliableFloodService:
+    """Hop-bounded flooding that survives message loss.
+
+    Each hop of the flood is acknowledged: a relay keeps retransmitting a
+    :class:`FloodMessage` to each neighbour every round until that neighbour
+    acks ``(origin, seq)``.  Duplicate receptions (caused by lost acks) are
+    deduplicated and re-acked, so exactly-once delivery semantics are
+    preserved for the node-level ``on_deliver`` callback.
+
+    Protocol cost: unlike :class:`FloodService` (fire-and-forget), reliable
+    flooding sends Θ(acks) extra messages even on loss-free links — it is
+    the price protocols pay to keep Algorithm 3's ball-gathering sound on
+    lossy radios.
+
+    Usage mirrors :class:`FloodService`, plus the owner must call
+    :meth:`on_round_end` once per round (after handling the inbox) to drive
+    retransmissions, and should include :meth:`idle` in its quiescence vote.
+    """
+
+    def __init__(
+        self,
+        node: "Node",  # noqa: F821
+        on_deliver: Optional[Callable[[FloodMessage], None]] = None,
+    ):
+        self._node = node
+        self._seen: Set[Tuple[int, int]] = set()
+        self._next_seq = 0
+        self._on_deliver = on_deliver
+        # (neighbor, origin, seq) -> FloodMessage awaiting that neighbor's ack
+        self._pending: Dict[Tuple[int, int, int], FloodMessage] = {}
+
+    def originate(self, body: Any, ttl: int) -> FloodMessage:
+        """Start a new acked flood from this node with the given hop bound."""
+        if ttl < 0:
+            raise ValueError(f"ttl must be >= 0, got {ttl}")
+        fm = FloodMessage(origin=self._node.id, seq=self._next_seq, ttl=ttl, body=body)
+        self._next_seq += 1
+        self._seen.add((fm.origin, fm.seq))
+        if self._on_deliver is not None:
+            self._on_deliver(fm)
+        if ttl > 0:
+            self._relay(fm)
+        return fm
+
+    def _relay(self, fm: FloodMessage) -> None:
+        for v in self._node.neighbors:
+            self._pending[(v, fm.origin, fm.seq)] = fm
+            self._node.send(v, fm)
+
+    def handle(self, msg: Message) -> None:
+        """Process one incoming flood copy or ack."""
+        payload = msg.payload
+        if isinstance(payload, FloodAck):
+            self._pending.pop((msg.sender, payload.origin, payload.seq), None)
+            return
+        if not isinstance(payload, FloodMessage):
+            raise TypeError(f"ReliableFloodService received {payload!r}")
+        # always ack, even duplicates (our previous ack may have been lost)
+        self._node.send(msg.sender, FloodAck(payload.origin, payload.seq))
+        key = (payload.origin, payload.seq)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        if self._on_deliver is not None:
+            self._on_deliver(payload)
+        if payload.ttl > 1:
+            self._relay(FloodMessage(payload.origin, payload.seq, payload.ttl - 1, payload.body))
+
+    def on_round_end(self) -> None:
+        """Retransmit every unacknowledged copy (call once per on_round)."""
+        for (neighbor, _origin, _seq), fm in self._pending.items():
+            self._node.send(neighbor, fm)
+
+    def idle(self) -> bool:
+        """True when nothing awaits acknowledgement."""
+        return not self._pending
+
+    def has_seen(self, origin: int, seq: int) -> bool:
+        """Whether this node already delivered flood (origin, seq)."""
+        return (origin, seq) in self._seen

@@ -1,0 +1,20 @@
+"""Message envelope for the synchronous engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Message:
+    """A point-to-point message delivered one round after it is sent.
+
+    ``payload`` is arbitrary (kept small by protocols that care about
+    message-size metrics); ``sender``/``receiver`` are node ids.
+    """
+
+    sender: int
+    receiver: int
+    payload: Any
+    sent_round: int

@@ -1,0 +1,102 @@
+"""Protocol execution tracing.
+
+Attach a :class:`Tracer` to a :class:`~repro.distsim.engine.SyncEngine` to
+record, per round, the message flow and a one-character state sample of
+every node.  The rendered timeline makes protocol behaviour reviewable at a
+glance — e.g. Algorithm 3's white→red/black waves or Colorwave's colour
+churn — and the examples/docs embed these timelines directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.distsim.messages import Message
+
+
+@dataclass(frozen=True)
+class RoundTrace:
+    """What one round looked like."""
+
+    round_no: int
+    delivered: int
+    sent: int
+    states: str  # one char per node
+
+
+@dataclass
+class Tracer:
+    """Records per-round message counts and node-state snapshots.
+
+    Parameters
+    ----------
+    state_fn:
+        ``state_fn(node) -> str`` returning a single character summarising
+        the node (defaults to ``'.'``).  For Algorithm 3 pass e.g.
+        ``lambda n: n.state[0].upper()``.
+    """
+
+    state_fn: Optional[Callable] = None
+    rounds: List[RoundTrace] = field(default_factory=list)
+
+    def record_round(
+        self,
+        round_no: int,
+        delivered: Sequence[Message],
+        sent: Sequence[Message],
+        nodes: Sequence,
+    ) -> None:
+        """Record one round's message counts and node-state snapshot."""
+        if self.state_fn is not None:
+            chars = []
+            for node in nodes:
+                c = str(self.state_fn(node))
+                chars.append(c[0] if c else "?")
+            states = "".join(chars)
+        else:
+            states = "." * len(nodes)
+        self.rounds.append(
+            RoundTrace(
+                round_no=round_no,
+                delivered=len(delivered),
+                sent=len(sent),
+                states=states,
+            )
+        )
+
+    # -- queries ---------------------------------------------------------
+    def num_rounds(self) -> int:
+        """Rounds recorded so far."""
+        return len(self.rounds)
+
+    def total_delivered(self) -> int:
+        """Messages delivered across all recorded rounds."""
+        return sum(r.delivered for r in self.rounds)
+
+    def state_history(self, node_id: int) -> str:
+        """The state character of *node_id* across rounds."""
+        return "".join(r.states[node_id] for r in self.rounds)
+
+    def rounds_until(self, predicate: Callable[[str], bool]) -> Optional[int]:
+        """First round whose state string satisfies *predicate* (e.g. all
+        nodes coloured), or None."""
+        for r in self.rounds:
+            if predicate(r.states):
+                return r.round_no
+        return None
+
+    # -- rendering ---------------------------------------------------------
+    def render(self, max_rounds: int = 80) -> str:
+        """ASCII timeline: one row per round — message counts + node states."""
+        if not self.rounds:
+            return "(no rounds recorded)"
+        lines = ["round | sent | recv | node states"]
+        shown = self.rounds[:max_rounds]
+        for r in shown:
+            lines.append(
+                f"{r.round_no:5d} | {r.sent:4d} | {r.delivered:4d} | {r.states}"
+            )
+        if len(self.rounds) > max_rounds:
+            lines.append(f"... {len(self.rounds) - max_rounds} more rounds")
+        return "\n".join(lines)

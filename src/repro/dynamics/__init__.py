@@ -1,0 +1,22 @@
+"""Reader mobility and time-varying populations (extension).
+
+The paper's motivation for the location-free algorithms is that "the
+position of each reader is often highly dynamic and we cannot expect that
+their exact geometry location can always be obtained".  This subpackage
+makes that concrete: waypoint mobility for readers
+(:mod:`repro.dynamics.mobility`) and an epoch loop that re-solves the
+one-shot problem as the geometry and the unread population drift
+(:mod:`repro.dynamics.simulation`).
+"""
+
+from repro.dynamics.mobility import RandomWaypoint, StaticPositions, WaypointState
+from repro.dynamics.simulation import DynamicResult, EpochRecord, run_dynamic_simulation
+
+__all__ = [
+    "RandomWaypoint",
+    "StaticPositions",
+    "WaypointState",
+    "DynamicResult",
+    "EpochRecord",
+    "run_dynamic_simulation",
+]

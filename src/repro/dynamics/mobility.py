@@ -1,0 +1,83 @@
+"""Mobility models for readers.
+
+A mobility model is an object with ``step(positions, rng) -> positions``:
+given the current ``(n, 2)`` positions it returns the next epoch's
+positions, clipped to the deployment region.  Models are stateful where the
+motion requires it (waypoints), but all randomness flows through the passed
+generator so simulations stay replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+class StaticPositions:
+    """Degenerate model: nothing moves (the paper's baseline setting)."""
+
+    def step(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return the positions unchanged (defensive copy)."""
+        return positions.copy()
+
+
+@dataclass
+class WaypointState:
+    """Per-reader waypoint bookkeeping for :class:`RandomWaypoint`."""
+
+    targets: np.ndarray
+    speeds: np.ndarray
+
+
+class RandomWaypoint:
+    """Random-waypoint mobility: each reader walks toward a private target
+    at its own speed; on arrival it draws a fresh target.
+
+    Parameters
+    ----------
+    side:
+        Square deployment region side length; targets are drawn inside it.
+    speed_range:
+        ``(min, max)`` distance covered per epoch.
+    """
+
+    def __init__(self, side: float, speed_range=(1.0, 4.0)):
+        self.side = check_positive("side", side)
+        lo, hi = float(speed_range[0]), float(speed_range[1])
+        if not 0 < lo <= hi:
+            raise ValueError(f"speed_range must satisfy 0 < min <= max, got {speed_range}")
+        self.speed_range = (lo, hi)
+        self._state: Optional[WaypointState] = None
+
+    def _init_state(self, n: int, rng: np.random.Generator) -> WaypointState:
+        return WaypointState(
+            targets=rng.uniform(0.0, self.side, size=(n, 2)),
+            speeds=rng.uniform(*self.speed_range, size=n),
+        )
+
+    def step(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Advance every walker one epoch toward its waypoint."""
+        positions = np.asarray(positions, dtype=np.float64)
+        n = len(positions)
+        if self._state is None or len(self._state.targets) != n:
+            self._state = self._init_state(n, rng)
+        state = self._state
+        delta = state.targets - positions
+        dist = np.hypot(delta[:, 0], delta[:, 1])
+        arrived = dist <= state.speeds
+        out = positions.copy()
+        # advance the walkers still in transit
+        moving = ~arrived & (dist > 0)
+        if moving.any():
+            step_vec = delta[moving] / dist[moving, None] * state.speeds[moving, None]
+            out[moving] = positions[moving] + step_vec
+        # arrivals land on the target and re-roll
+        if arrived.any():
+            out[arrived] = state.targets[arrived]
+            state.targets[arrived] = rng.uniform(0.0, self.side, size=(int(arrived.sum()), 2))
+            state.speeds[arrived] = rng.uniform(*self.speed_range, size=int(arrived.sum()))
+        return np.clip(out, 0.0, self.side)

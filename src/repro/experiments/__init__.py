@@ -1,0 +1,58 @@
+"""Experiment harness: sweeps, metrics aggregation, figure reproduction.
+
+:mod:`repro.experiments.figures` regenerates the four evaluation figures of
+Section VI (Figures 6–9); :mod:`repro.experiments.sweep` is the generic
+replicated parameter-sweep engine they are built on, and
+:mod:`repro.experiments.reporting` renders the resulting series as the ASCII
+tables the benchmarks print.
+"""
+
+from repro.experiments.analysis import (
+    ActivationStats,
+    LatencyStats,
+    jain_fairness,
+    reader_service_counts,
+    summarize_schedule,
+)
+from repro.experiments.metrics import SeriesStats, aggregate
+from repro.experiments.regression import (
+    Deviation,
+    compare_sweeps,
+    format_deviations,
+)
+from repro.experiments.report import generate_report
+from repro.experiments.reporting import format_series_table
+from repro.experiments.sweep import SweepResult, run_sweep
+from repro.experiments.figures import (
+    FIGURE_DEFAULTS,
+    FigureSpec,
+    run_figure,
+    fig6_mcs_vs_lambda_R,
+    fig7_mcs_vs_lambda_r,
+    fig8_oneshot_vs_lambda_r,
+    fig9_oneshot_vs_lambda_R,
+)
+
+__all__ = [
+    "SeriesStats",
+    "aggregate",
+    "format_series_table",
+    "SweepResult",
+    "run_sweep",
+    "FigureSpec",
+    "FIGURE_DEFAULTS",
+    "run_figure",
+    "fig6_mcs_vs_lambda_R",
+    "fig7_mcs_vs_lambda_r",
+    "fig8_oneshot_vs_lambda_r",
+    "fig9_oneshot_vs_lambda_R",
+    "LatencyStats",
+    "ActivationStats",
+    "jain_fairness",
+    "reader_service_counts",
+    "summarize_schedule",
+    "Deviation",
+    "compare_sweeps",
+    "format_deviations",
+    "generate_report",
+]

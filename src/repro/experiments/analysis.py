@@ -1,0 +1,130 @@
+"""Schedule analytics beyond the paper's two headline metrics.
+
+The paper scores a schedule by its size (Figures 6–7) and a slot by its
+weight (Figures 8–9).  An operator deploying this system also cares about
+*when* each tag gets read (latency), how evenly readers share the serving
+load (fairness), and how much of each slot's activation was wasted.  These
+are derived entirely from :class:`~repro.core.mcs.ScheduleResult`, so they
+apply uniformly to every scheduler in the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.mcs import ScheduleResult
+from repro.model.system import RFIDSystem
+
+
+def tag_read_slots(result: ScheduleResult) -> Dict[int, int]:
+    """Map each served tag to the slot index in which it was read."""
+    out: Dict[int, int] = {}
+    for slot in result.slots:
+        for t in slot.tags_read.tolist():
+            out[int(t)] = slot.slot
+    return out
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Distribution of read latency (slot index at which tags were served)."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    worst: int
+
+    @classmethod
+    def from_schedule(cls, result: ScheduleResult) -> "LatencyStats":
+        slots = np.array(sorted(tag_read_slots(result).values()), dtype=float)
+        if slots.size == 0:
+            return cls(count=0, mean=0.0, median=0.0, p90=0.0, p99=0.0, worst=0)
+        return cls(
+            count=int(slots.size),
+            mean=float(slots.mean()),
+            median=float(np.percentile(slots, 50)),
+            p90=float(np.percentile(slots, 90)),
+            p99=float(np.percentile(slots, 99)),
+            worst=int(slots.max()),
+        )
+
+
+def reader_service_counts(
+    system: RFIDSystem, result: ScheduleResult
+) -> np.ndarray:
+    """Tags served per reader across the whole schedule.
+
+    Each served tag is attributed to its unique covering reader within the
+    slot's active set (well-covered ⇒ the owner is unique).
+    """
+    counts = np.zeros(system.num_readers, dtype=np.int64)
+    for slot in result.slots:
+        if len(slot.tags_read) == 0:
+            continue
+        cov = system.coverage[np.ix_(slot.tags_read, slot.active)]
+        owners = slot.active[np.argmax(cov, axis=1)]
+        for rd in owners:
+            counts[int(rd)] += 1
+    return counts
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (n·Σx²)`` ∈ (0, 1]; 1 = perfectly
+    even.  Zero-total inputs return 1.0 (vacuously fair)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 1.0
+    total = arr.sum()
+    if total == 0:
+        return 1.0
+    return float(total**2 / (arr.size * np.square(arr).sum()))
+
+
+@dataclass(frozen=True)
+class ActivationStats:
+    """How much activation the schedule spent, and how productively."""
+
+    total_activations: int
+    productive_activations: int
+    tags_per_activation: float
+
+    @classmethod
+    def from_schedule(
+        cls, system: RFIDSystem, result: ScheduleResult
+    ) -> "ActivationStats":
+        total = sum(len(slot.active) for slot in result.slots)
+        served = reader_service_counts(system, result)
+        productive = 0
+        for slot in result.slots:
+            if len(slot.tags_read) == 0:
+                continue
+            cov = system.coverage[np.ix_(slot.tags_read, slot.active)]
+            owners = set(slot.active[np.argmax(cov, axis=1)].tolist())
+            productive += len(owners)
+        tags_total = int(served.sum())
+        return cls(
+            total_activations=total,
+            productive_activations=productive,
+            tags_per_activation=tags_total / total if total else 0.0,
+        )
+
+
+def summarize_schedule(system: RFIDSystem, result: ScheduleResult) -> str:
+    """One-paragraph operator summary of a covering schedule."""
+    latency = LatencyStats.from_schedule(result)
+    counts = reader_service_counts(system, result)
+    activation = ActivationStats.from_schedule(system, result)
+    fairness = jain_fairness(counts[counts > 0])
+    return (
+        f"{result.size} slots, {result.tags_read_total} tags read "
+        f"(complete={result.complete}); latency mean {latency.mean:.1f} / "
+        f"p90 {latency.p90:.0f} / worst {latency.worst} slots; "
+        f"{activation.total_activations} reader-activations at "
+        f"{activation.tags_per_activation:.1f} tags each; serving-load "
+        f"fairness (Jain) {fairness:.2f}"
+    )

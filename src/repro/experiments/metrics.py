@@ -1,0 +1,47 @@
+"""Replication statistics.
+
+Each sweep point is replicated over several seeds; we report mean, standard
+deviation and a normal-approximation 95% confidence half-width.  scipy is
+deliberately not required — the simulator stack must run on the minimal
+dependency set.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Aggregate of one metric at one sweep point."""
+
+    n: int
+    mean: float
+    std: float
+    ci95: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f}±{self.ci95:.2f}"
+
+
+def aggregate(values: Sequence[float]) -> SeriesStats:
+    """Mean/std/CI aggregation of replicated measurements."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("cannot aggregate an empty sample")
+    n = len(vals)
+    mean = sum(vals) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+        std = math.sqrt(var)
+        ci95 = 1.96 * std / math.sqrt(n)
+    else:
+        std = 0.0
+        ci95 = 0.0
+    return SeriesStats(
+        n=n, mean=mean, std=std, ci95=ci95, minimum=min(vals), maximum=max(vals)
+    )

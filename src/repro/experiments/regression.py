@@ -1,0 +1,110 @@
+"""Sweep regression comparison.
+
+Archived sweeps (``repro.io.save_sweep``) act as baselines; this module
+compares a fresh run against one and flags the points whose means moved
+beyond statistical noise — the CI guard for "did this commit change the
+figures?".  Uses Welch's t statistic with a normal-approximation threshold
+so scipy is not required.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.experiments.sweep import SweepResult
+
+
+@dataclass(frozen=True)
+class Deviation:
+    """One sweep point whose metric moved significantly."""
+
+    metric: str
+    param_value: float
+    baseline_mean: float
+    current_mean: float
+    t_statistic: float
+
+    @property
+    def relative_change(self) -> float:
+        """Fractional change vs the baseline mean (inf when baseline 0)."""
+        if self.baseline_mean == 0:
+            return math.inf if self.current_mean else 0.0
+        return (self.current_mean - self.baseline_mean) / self.baseline_mean
+
+
+def welch_t(a: Sequence[float], b: Sequence[float]) -> float:
+    """Welch's t statistic for two independent samples (0 when either
+    sample is degenerate with equal means)."""
+    na, nb = len(a), len(b)
+    if na == 0 or nb == 0:
+        raise ValueError("samples must be non-empty")
+    ma = sum(a) / na
+    mb = sum(b) / nb
+    va = sum((x - ma) ** 2 for x in a) / (na - 1) if na > 1 else 0.0
+    vb = sum((x - mb) ** 2 for x in b) / (nb - 1) if nb > 1 else 0.0
+    denom = math.sqrt(va / na + vb / nb)
+    if denom == 0:
+        return 0.0 if ma == mb else math.inf
+    return (ma - mb) / denom
+
+
+def compare_sweeps(
+    baseline: SweepResult,
+    current: SweepResult,
+    t_threshold: float = 3.0,
+    min_relative: float = 0.05,
+) -> List[Deviation]:
+    """Flag (metric, point) pairs whose means differ both statistically
+    (``|t| > t_threshold``) and practically (relative change above
+    ``min_relative``).
+
+    Raises if the sweeps are not comparable (different parameter, grid or
+    metric sets).
+    """
+    if baseline.param_name != current.param_name:
+        raise ValueError(
+            f"parameter mismatch: {baseline.param_name!r} vs {current.param_name!r}"
+        )
+    if list(baseline.param_values) != list(current.param_values):
+        raise ValueError("sweep grids differ")
+    if set(baseline.metrics) != set(current.metrics):
+        raise ValueError("metric sets differ")
+
+    deviations: List[Deviation] = []
+    for metric in baseline.metrics:
+        for value in baseline.param_values:
+            a = baseline.raw[(metric, value)]
+            b = current.raw[(metric, value)]
+            t = welch_t(b, a)
+            mean_a = sum(a) / len(a)
+            mean_b = sum(b) / len(b)
+            rel = abs(mean_b - mean_a) / abs(mean_a) if mean_a else math.inf
+            if abs(t) > t_threshold and rel > min_relative:
+                deviations.append(
+                    Deviation(
+                        metric=metric,
+                        param_value=value,
+                        baseline_mean=mean_a,
+                        current_mean=mean_b,
+                        t_statistic=t,
+                    )
+                )
+    deviations.sort(key=lambda d: -abs(d.t_statistic))
+    return deviations
+
+
+def format_deviations(deviations: Sequence[Deviation]) -> str:
+    """Human-readable report of flagged deviations."""
+    if not deviations:
+        return "no significant deviations"
+    lines = ["metric @ point: baseline -> current (rel change, t)"]
+    for d in deviations:
+        rel = d.relative_change
+        rel_txt = f"{100 * rel:+.1f}%" if math.isfinite(rel) else "inf"
+        lines.append(
+            f"{d.metric} @ {d.param_value:g}: {d.baseline_mean:.2f} -> "
+            f"{d.current_mean:.2f} ({rel_txt}, t={d.t_statistic:.1f})"
+        )
+    return "\n".join(lines)

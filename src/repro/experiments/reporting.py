@@ -1,0 +1,63 @@
+"""ASCII rendering of sweep results — the benchmark harness's "figures".
+
+Each evaluation figure of the paper is a family of curves (one per
+algorithm) over a swept parameter; :func:`format_series_table` prints the
+same data as a table with one row per sweep value and one column per
+algorithm, mean ± 95% CI.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.sweep import SweepResult
+
+
+def format_series_table(
+    result: SweepResult,
+    title: str = "",
+    metrics: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a sweep as an aligned ASCII table."""
+    metrics = list(metrics) if metrics is not None else list(result.metrics)
+    header = [result.param_name] + metrics
+    rows: List[List[str]] = []
+    for value in result.param_values:
+        row = [f"{value:g}"]
+        for metric in metrics:
+            row.append(str(result.stats[(metric, value)]))
+        rows.append(row)
+
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in rows)) for c in range(len(header))
+    ]
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(header))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def format_comparison(
+    result: SweepResult, baseline_metric: str, title: str = ""
+) -> str:
+    """Render each metric as a ratio to *baseline_metric* (e.g. how many
+    times more slots Colorwave needs than the PTAS)."""
+    lines = [title] if title else []
+    base = result.means(baseline_metric)
+    for metric in result.metrics:
+        if metric == baseline_metric:
+            continue
+        ratios = [
+            (m / b if b else float("nan"))
+            for m, b in zip(result.means(metric), base)
+        ]
+        txt = ", ".join(f"{r:.2f}" for r in ratios)
+        lines.append(f"{metric} / {baseline_metric}: [{txt}]")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Generic replicated parameter sweep.
+
+A sweep varies one scalar parameter over a list of values; at each value the
+``measure`` callback runs once per seed and returns a ``{metric: value}``
+dict (one metric per algorithm, typically).  Results are aggregated per
+(metric, value) into :class:`~repro.experiments.metrics.SeriesStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.experiments.metrics import SeriesStats, aggregate
+
+Measure = Callable[[float, int], Mapping[str, float]]
+
+
+@dataclass
+class SweepResult:
+    """Aggregated sweep output."""
+
+    param_name: str
+    param_values: List[float]
+    metrics: List[str]
+    stats: Dict[Tuple[str, float], SeriesStats]
+    raw: Dict[Tuple[str, float], List[float]] = field(default_factory=dict)
+
+    def series(self, metric: str) -> List[SeriesStats]:
+        """The aggregated curve of one metric across the sweep."""
+        return [self.stats[(metric, v)] for v in self.param_values]
+
+    def means(self, metric: str) -> List[float]:
+        """Mean curve of one metric across the sweep."""
+        return [s.mean for s in self.series(metric)]
+
+
+def run_sweep(
+    param_name: str,
+    param_values: Sequence[float],
+    measure: Measure,
+    seeds: Sequence[int],
+) -> SweepResult:
+    """Run *measure* over the grid ``param_values × seeds`` and aggregate.
+
+    ``measure(value, seed)`` must return the same metric keys at every grid
+    point (enforced), so the resulting series are rectangular.
+    """
+    if not param_values:
+        raise ValueError("param_values must be non-empty")
+    if not seeds:
+        raise ValueError("seeds must be non-empty")
+
+    raw: Dict[Tuple[str, float], List[float]] = {}
+    metric_names: List[str] = []
+    for value in param_values:
+        for seed in seeds:
+            sample = measure(value, seed)
+            if not metric_names:
+                metric_names = list(sample)
+            elif set(sample) != set(metric_names):
+                raise ValueError(
+                    f"measure returned inconsistent metrics at "
+                    f"{param_name}={value}: {sorted(sample)} vs {sorted(metric_names)}"
+                )
+            for metric, obs in sample.items():
+                raw.setdefault((metric, value), []).append(float(obs))
+
+    stats = {key: aggregate(vals) for key, vals in raw.items()}
+    return SweepResult(
+        param_name=param_name,
+        param_values=list(param_values),
+        metrics=metric_names,
+        stats=stats,
+        raw=raw,
+    )

@@ -1,0 +1,49 @@
+"""Computational-geometry substrate.
+
+Everything the schedulers need from the plane lives here: vectorised distance
+kernels (:mod:`repro.geometry.points`), disk primitives and independence
+predicates (:mod:`repro.geometry.disks`), a uniform spatial hash for
+neighbourhood queries (:mod:`repro.geometry.grid`), and the hierarchical
+``(r, s)``-shifted subdivision used by the PTAS of Algorithm 1
+(:mod:`repro.geometry.shifting`).
+"""
+
+from repro.geometry.disks import (
+    Disk,
+    disk_contains_points,
+    disk_intersects_rect,
+    disks_independent,
+    independence_matrix,
+    mutual_interference_matrix,
+)
+from repro.geometry.grid import SpatialHashGrid
+from repro.geometry.points import (
+    pairwise_distances,
+    pairwise_sq_distances,
+    points_in_radius,
+    distances_to,
+)
+from repro.geometry.shifting import (
+    ShiftedHierarchy,
+    Square,
+    disk_levels,
+    scale_radii,
+)
+
+__all__ = [
+    "Disk",
+    "disk_contains_points",
+    "disk_intersects_rect",
+    "disks_independent",
+    "independence_matrix",
+    "mutual_interference_matrix",
+    "SpatialHashGrid",
+    "pairwise_distances",
+    "pairwise_sq_distances",
+    "points_in_radius",
+    "distances_to",
+    "ShiftedHierarchy",
+    "Square",
+    "disk_levels",
+    "scale_radii",
+]

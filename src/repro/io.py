@@ -1,0 +1,147 @@
+"""JSON persistence for deployments, scenarios and experiment results.
+
+Reproducibility plumbing: freeze a generated instance to disk, re-load it
+bit-for-bit, and archive sweep results next to the figures they regenerate.
+The format is plain JSON (versioned) so archived artifacts stay readable
+without this library.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.deployment.scenario import Scenario
+from repro.experiments.sweep import SweepResult
+from repro.model.system import RFIDSystem, build_system
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# systems
+# ---------------------------------------------------------------------------
+def system_to_dict(system: RFIDSystem) -> dict:
+    """Serialise a deployment to a JSON-compatible dict."""
+    return {
+        "format": "repro.system",
+        "version": FORMAT_VERSION,
+        "reader_positions": system.reader_positions.tolist(),
+        "interference_radii": system.interference_radii.tolist(),
+        "interrogation_radii": system.interrogation_radii.tolist(),
+        "tag_positions": system.tag_positions.tolist(),
+    }
+
+
+def system_from_dict(data: dict) -> RFIDSystem:
+    """Rebuild a deployment from :func:`system_to_dict` output."""
+    _check_header(data, "repro.system")
+    return build_system(
+        np.asarray(data["reader_positions"], dtype=float).reshape(-1, 2),
+        np.asarray(data["interference_radii"], dtype=float),
+        np.asarray(data["interrogation_radii"], dtype=float),
+        np.asarray(data["tag_positions"], dtype=float).reshape(-1, 2),
+    )
+
+
+def save_system(system: RFIDSystem, path: PathLike) -> None:
+    """Write a deployment to *path* as JSON."""
+    Path(path).write_text(json.dumps(system_to_dict(system)))
+
+
+def load_system(path: PathLike) -> RFIDSystem:
+    """Read a deployment from JSON at *path*."""
+    return system_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+def scenario_to_dict(scenario: Scenario) -> dict:
+    """Serialise a scenario to a JSON-compatible dict."""
+    out = dataclasses.asdict(scenario)
+    out["format"] = "repro.scenario"
+    out["version"] = FORMAT_VERSION
+    return out
+
+
+def scenario_from_dict(data: dict) -> Scenario:
+    """Rebuild a scenario from :func:`scenario_to_dict` output."""
+    _check_header(data, "repro.scenario")
+    fields = {f.name for f in dataclasses.fields(Scenario)}
+    return Scenario(**{k: v for k, v in data.items() if k in fields})
+
+
+def save_scenario(scenario: Scenario, path: PathLike) -> None:
+    """Write a scenario to *path* as JSON."""
+    Path(path).write_text(json.dumps(scenario_to_dict(scenario)))
+
+
+def load_scenario(path: PathLike) -> Scenario:
+    """Read a scenario from JSON at *path*."""
+    return scenario_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# sweep results
+# ---------------------------------------------------------------------------
+def sweep_to_dict(result: SweepResult) -> dict:
+    """Serialise a sweep (raw samples included) to a dict."""
+    return {
+        "format": "repro.sweep",
+        "version": FORMAT_VERSION,
+        "param_name": result.param_name,
+        "param_values": list(result.param_values),
+        "metrics": list(result.metrics),
+        "raw": [
+            {"metric": metric, "value": value, "samples": samples}
+            for (metric, value), samples in sorted(result.raw.items())
+        ],
+    }
+
+
+def sweep_from_dict(data: dict) -> SweepResult:
+    """Rebuild a sweep, re-aggregating stats from the raw samples."""
+    _check_header(data, "repro.sweep")
+    raw = {
+        (entry["metric"], entry["value"]): list(entry["samples"])
+        for entry in data["raw"]
+    }
+    from repro.experiments.metrics import aggregate
+
+    return SweepResult(
+        param_name=data["param_name"],
+        param_values=list(data["param_values"]),
+        metrics=list(data["metrics"]),
+        stats={key: aggregate(vals) for key, vals in raw.items()},
+        raw=raw,
+    )
+
+
+def save_sweep(result: SweepResult, path: PathLike) -> None:
+    """Write a sweep to *path* as JSON."""
+    Path(path).write_text(json.dumps(sweep_to_dict(result)))
+
+
+def load_sweep(path: PathLike) -> SweepResult:
+    """Read a sweep from JSON at *path*."""
+    return sweep_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+def _check_header(data: dict, expected_format: str) -> None:
+    fmt = data.get("format")
+    if fmt != expected_format:
+        raise ValueError(f"expected format {expected_format!r}, got {fmt!r}")
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported {expected_format} version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )

@@ -1,0 +1,40 @@
+"""Link-layer tag anti-collision protocols (TTc substrate).
+
+The paper assumes tag–tag collisions "can be successfully resolved through
+certain link-layered protocol i.e., framed Aloha [20] or tree-splitting
+[16], [18]" and does not schedule around them.  We implement both protocols
+so a scheduler's *time-slot* can be costed in real link-layer micro-slots:
+
+* :mod:`repro.linklayer.aloha` — framed-slotted ALOHA with the EPC Gen2-style
+  Q adaptation of the frame size;
+* :mod:`repro.linklayer.treewalk` — binary tree-walking / splitting over the
+  tag ID space;
+* :mod:`repro.linklayer.session` — drives one protocol per operational
+  reader to inventory the well-covered tags of a slot and reports micro-slot
+  accounting.
+"""
+
+from repro.linklayer.aloha import FramedAlohaReader, AlohaRoundStats
+from repro.linklayer.estimation import (
+    ProbeFrame,
+    collision_estimate,
+    estimate_population,
+    probe,
+    zero_estimate,
+)
+from repro.linklayer.session import InventoryResult, run_inventory_session
+from repro.linklayer.treewalk import TreeWalkReader, TreeWalkStats
+
+__all__ = [
+    "FramedAlohaReader",
+    "AlohaRoundStats",
+    "TreeWalkReader",
+    "TreeWalkStats",
+    "InventoryResult",
+    "run_inventory_session",
+    "ProbeFrame",
+    "probe",
+    "zero_estimate",
+    "collision_estimate",
+    "estimate_population",
+]

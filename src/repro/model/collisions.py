@@ -1,0 +1,89 @@
+"""Collision classification for an arbitrary active reader set.
+
+Mirrors Figure 1 of the paper: given a (not necessarily feasible) set of
+simultaneously active readers, report which readers suffer RTc, which tags
+are blocked by RRc, and which tags would additionally contend at the link
+layer (TTc) — the latter feeds :mod:`repro.linklayer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.model.system import RFIDSystem
+
+
+def rtc_victims(system: RFIDSystem, active) -> np.ndarray:
+    """Active readers suffering reader–tag collision: inside some other
+    active reader's interference disk.  Such readers read nothing this slot."""
+    idx = system._normalize_active(active)
+    if idx.size == 0:
+        return idx
+    sub = system.in_interference_range[np.ix_(idx, idx)]
+    return idx[sub.any(axis=1)]
+
+
+def operational_mask(system: RFIDSystem, active) -> np.ndarray:
+    """Boolean mask aligned with the sorted active set: reader is RTc-free."""
+    idx = system._normalize_active(active)
+    if idx.size == 0:
+        return np.zeros(0, dtype=bool)
+    sub = system.in_interference_range[np.ix_(idx, idx)]
+    return ~sub.any(axis=1)
+
+
+def rrc_blocked_tags(
+    system: RFIDSystem, active, unread: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Tags blocked by reader–reader collision: inside the interrogation
+    regions of two or more active readers (Figure 1(c)).  The active readers
+    still serve their exclusive tags."""
+    idx = system._normalize_active(active)
+    if idx.size == 0 or system.num_tags == 0:
+        return np.empty(0, dtype=np.int64)
+    counts = system.coverage[:, idx].sum(axis=1)
+    blocked = counts >= 2
+    if unread is not None:
+        blocked = blocked & np.asarray(unread, dtype=bool)
+    return np.flatnonzero(blocked)
+
+
+@dataclass(frozen=True)
+class CollisionReport:
+    """Full collision breakdown for one slot's active set."""
+
+    active: np.ndarray
+    rtc_readers: np.ndarray
+    rrc_tags: np.ndarray
+    well_covered: np.ndarray
+
+    @property
+    def num_rtc(self) -> int:
+        """Active readers silenced by RTc."""
+        return int(len(self.rtc_readers))
+
+    @property
+    def num_rrc(self) -> int:
+        """Tags blanked by RRc."""
+        return int(len(self.rrc_tags))
+
+    @property
+    def weight(self) -> int:
+        """Well-covered tag count of the active set."""
+        return int(len(self.well_covered))
+
+
+def classify_collisions(
+    system: RFIDSystem, active, unread: Optional[np.ndarray] = None
+) -> CollisionReport:
+    """Classify every collision for the given active set in one pass."""
+    idx = system._normalize_active(active)
+    return CollisionReport(
+        active=idx,
+        rtc_readers=rtc_victims(system, idx),
+        rrc_tags=rrc_blocked_tags(system, idx, unread),
+        well_covered=system.well_covered_tags(idx, unread),
+    )

@@ -1,0 +1,137 @@
+"""Monitored-region analytics (Definition 4's region M).
+
+The covering-schedule definition is stated over the *monitored region* — the
+union of all interrogation disks.  Union-of-disks areas have no pleasant
+closed form beyond two disks, so :func:`coverage_report` estimates them by
+Monte Carlo over the deployment square, which also yields the quantities a
+deployment planner actually wants: monitored fraction, k-coverage
+distribution (how much area lies in ≥ k interrogation regions — the RRc
+exposure), and per-reader exclusive coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.geometry.points import pairwise_sq_distances
+from repro.model.system import RFIDSystem
+from repro.util.rng import RngLike, as_rng
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Monte Carlo coverage statistics over the deployment region."""
+
+    side: float
+    samples: int
+    monitored_fraction: float
+    overlap_fraction: float
+    mean_coverage_depth: float
+    coverage_histogram: Dict[int, float]
+    exclusive_fraction_by_reader: np.ndarray
+
+    @property
+    def monitored_area(self) -> float:
+        """Estimated area of region M."""
+        return self.monitored_fraction * self.side**2
+
+    @property
+    def rrc_exposed_area(self) -> float:
+        """Estimated area covered by ≥ 2 interrogation regions — where a
+        tag risks RRc if both covering readers are activated together."""
+        return self.overlap_fraction * self.side**2
+
+
+def coverage_report(
+    system: RFIDSystem,
+    side: float,
+    samples: int = 20_000,
+    seed: RngLike = None,
+) -> CoverageReport:
+    """Estimate coverage statistics for the ``side × side`` region.
+
+    Standard error of the monitored fraction is ``≈ 0.5/√samples`` (worst
+    case), i.e. ~0.35% at the default sample count.
+    """
+    check_positive("side", side)
+    if samples <= 0:
+        raise ValueError(f"samples must be > 0, got {samples}")
+    rng = as_rng(seed)
+    n = system.num_readers
+
+    pts = rng.uniform(0.0, side, size=(samples, 2))
+    if n == 0:
+        hist = {0: 1.0}
+        return CoverageReport(
+            side=float(side),
+            samples=samples,
+            monitored_fraction=0.0,
+            overlap_fraction=0.0,
+            mean_coverage_depth=0.0,
+            coverage_histogram=hist,
+            exclusive_fraction_by_reader=np.zeros(0),
+        )
+
+    sq = pairwise_sq_distances(pts, system.reader_positions)
+    inside = sq <= system.interrogation_radii[None, :] ** 2
+    depth = inside.sum(axis=1)
+
+    monitored = float((depth >= 1).mean())
+    overlap = float((depth >= 2).mean())
+    mean_depth = float(depth.mean())
+    hist: Dict[int, float] = {
+        int(k): float((depth == k).mean()) for k in np.unique(depth)
+    }
+    exclusive = (inside & (depth == 1)[:, None]).mean(axis=0)
+
+    return CoverageReport(
+        side=float(side),
+        samples=samples,
+        monitored_fraction=monitored,
+        overlap_fraction=overlap,
+        mean_coverage_depth=mean_depth,
+        coverage_histogram=hist,
+        exclusive_fraction_by_reader=exclusive,
+    )
+
+
+def pairwise_interrogation_overlap(system: RFIDSystem) -> np.ndarray:
+    """Exact pairwise lens areas of interrogation-disk intersections.
+
+    ``A[i, j]`` is the area of the intersection of readers *i* and *j*'s
+    interrogation disks (closed form for two circles); the diagonal holds
+    each disk's own area.  Large off-diagonal mass with *independent*
+    readers is exactly the regime of Finding 1 in EXPERIMENTS.md.
+    """
+    n = system.num_readers
+    out = np.zeros((n, n))
+    radii = system.interrogation_radii
+    pos = system.reader_positions
+    for i in range(n):
+        out[i, i] = np.pi * radii[i] ** 2
+    d = np.sqrt(pairwise_sq_distances(pos, pos)) if n else np.zeros((0, 0))
+    for i in range(n):
+        for j in range(i + 1, n):
+            out[i, j] = out[j, i] = _lens_area(radii[i], radii[j], d[i, j])
+    return out
+
+
+def _lens_area(r1: float, r2: float, d: float) -> float:
+    """Area of intersection of two circles with radii r1, r2, centers d
+    apart."""
+    if d >= r1 + r2:
+        return 0.0
+    if d <= abs(r1 - r2):
+        r = min(r1, r2)
+        return np.pi * r * r
+    # circular segment decomposition
+    a1 = np.arccos(np.clip((d * d + r1 * r1 - r2 * r2) / (2 * d * r1), -1, 1))
+    a2 = np.arccos(np.clip((d * d + r2 * r2 - r1 * r1) / (2 * d * r2), -1, 1))
+    return (
+        r1 * r1 * (a1 - np.sin(2 * a1) / 2)
+        + r2 * r2 * (a2 - np.sin(2 * a2) / 2)
+    )

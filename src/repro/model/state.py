@@ -1,0 +1,95 @@
+"""Read-state bookkeeping across time-slots.
+
+The covering-schedule loop (Definition 4) retires tags once they have been
+served: "after tag Tag_i accessing some reader, we say that it leaves the
+system".  :class:`ReadState` is the single mutable object in the model layer;
+everything else is frozen, which keeps the schedulers referentially
+transparent and the experiments replayable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+class ReadState:
+    """Tracks which tags are still unread.
+
+    Parameters
+    ----------
+    num_tags:
+        Size of the tag population.
+    unread:
+        Optional initial boolean mask (True = unread).  Defaults to all
+        unread.
+    """
+
+    def __init__(self, num_tags: int, unread: Optional[np.ndarray] = None):
+        if num_tags < 0:
+            raise ValueError(f"num_tags must be >= 0, got {num_tags}")
+        self._n = int(num_tags)
+        if unread is None:
+            self._unread = np.ones(self._n, dtype=bool)
+        else:
+            unread = np.asarray(unread, dtype=bool)
+            if unread.shape != (self._n,):
+                raise ValueError(
+                    f"unread mask must have shape ({self._n},), got {unread.shape}"
+                )
+            self._unread = unread.copy()
+
+    # -- queries --------------------------------------------------------
+    @property
+    def num_tags(self) -> int:
+        """Population size."""
+        return self._n
+
+    @property
+    def unread_mask(self) -> np.ndarray:
+        """Boolean view (copy) of unread tags."""
+        return self._unread.copy()
+
+    def unread_indices(self) -> np.ndarray:
+        """Indices of unread tags."""
+        return np.flatnonzero(self._unread)
+
+    def read_indices(self) -> np.ndarray:
+        """Indices of already-read tags."""
+        return np.flatnonzero(~self._unread)
+
+    def num_unread(self) -> int:
+        """How many tags are still unread."""
+        return int(self._unread.sum())
+
+    def num_read(self) -> int:
+        """How many tags have been read."""
+        return self._n - self.num_unread()
+
+    def is_unread(self, tag: int) -> bool:
+        """Whether *tag* is still unread."""
+        return bool(self._unread[tag])
+
+    def all_read(self) -> bool:
+        """True when no unread tags remain."""
+        return not bool(self._unread.any())
+
+    # -- mutation -------------------------------------------------------
+    def mark_read(self, tags: Iterable[int]) -> int:
+        """Mark *tags* as read; returns how many were newly read."""
+        idx = np.asarray(list(tags), dtype=np.int64)
+        if idx.size == 0:
+            return 0
+        if idx.min() < 0 or idx.max() >= self._n:
+            raise IndexError("tag index out of range")
+        newly = int(self._unread[idx].sum())
+        self._unread[idx] = False
+        return newly
+
+    def copy(self) -> "ReadState":
+        """Independent copy of this state."""
+        return ReadState(self._n, self._unread)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ReadState(unread={self.num_unread()}/{self._n})"

@@ -1,0 +1,289 @@
+"""The frozen RFID deployment and its derived matrices.
+
+:class:`RFIDSystem` precomputes three structures all schedulers share:
+
+* ``coverage`` — boolean ``(m, n)`` incidence: tag *t* lies in reader *i*'s
+  interrogation region;
+* ``in_interference_range`` — directed boolean ``(n, n)``: reader *i* lies in
+  reader *j*'s interference disk (the RTc predicate, Figure 1(b));
+* ``conflict`` — its symmetrisation: *i* and *j* are **not** independent in
+  the sense of Definition 2, i.e. they are adjacent in the interference
+  graph (Definition 7).
+
+The weight oracle (Definition 3) and the generalised well-covered computation
+(Definition 1, needed for infeasible active sets produced by the
+hill-climbing baseline) are evaluated directly on these matrices with NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.disks import independence_matrix, mutual_interference_matrix
+from repro.geometry.points import as_points, pairwise_sq_distances
+from repro.model.reader import Reader
+from repro.model.tag import Tag
+
+
+class RFIDSystem:
+    """Immutable multi-reader RFID deployment.
+
+    Parameters
+    ----------
+    readers:
+        Sequence of :class:`~repro.model.reader.Reader`; ids must equal their
+        index (enforced) so array positions and entity ids never diverge.
+    tags:
+        Sequence of :class:`~repro.model.tag.Tag`, same id convention.
+    """
+
+    def __init__(self, readers: Sequence[Reader], tags: Sequence[Tag]):
+        self._readers: List[Reader] = list(readers)
+        self._tags: List[Tag] = list(tags)
+        for idx, rd in enumerate(self._readers):
+            if rd.id != idx:
+                raise ValueError(f"reader at index {idx} has id {rd.id}")
+        for idx, tg in enumerate(self._tags):
+            if tg.id != idx:
+                raise ValueError(f"tag at index {idx} has id {tg.id}")
+
+        n = len(self._readers)
+        m = len(self._tags)
+        self._reader_pos = (
+            np.array([[rd.x, rd.y] for rd in self._readers], dtype=np.float64)
+            if n
+            else np.empty((0, 2))
+        )
+        self._tag_pos = (
+            np.array([[tg.x, tg.y] for tg in self._tags], dtype=np.float64)
+            if m
+            else np.empty((0, 2))
+        )
+        self._interference_radii = np.array(
+            [rd.interference_radius for rd in self._readers], dtype=np.float64
+        )
+        self._interrogation_radii = np.array(
+            [rd.interrogation_radius for rd in self._readers], dtype=np.float64
+        )
+
+        if n and m:
+            sq = pairwise_sq_distances(self._tag_pos, self._reader_pos)
+            self._coverage = sq <= (self._interrogation_radii[None, :] ** 2)
+        else:
+            self._coverage = np.zeros((m, n), dtype=bool)
+
+        if n:
+            self._in_range = mutual_interference_matrix(
+                self._reader_pos, self._interference_radii
+            )
+            self._independent = independence_matrix(
+                self._reader_pos, self._interference_radii
+            )
+        else:
+            self._in_range = np.zeros((0, 0), dtype=bool)
+            self._independent = np.zeros((0, 0), dtype=bool)
+        self._conflict = ~self._independent
+        np.fill_diagonal(self._conflict, False)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_readers(self) -> int:
+        """Number of readers."""
+        return len(self._readers)
+
+    @property
+    def num_tags(self) -> int:
+        """Number of tags."""
+        return len(self._tags)
+
+    @property
+    def readers(self) -> List[Reader]:
+        """Reader entities (copy of the list)."""
+        return list(self._readers)
+
+    @property
+    def tags(self) -> List[Tag]:
+        """Tag entities (copy of the list)."""
+        return list(self._tags)
+
+    def reader(self, i: int) -> Reader:
+        """Reader *i*."""
+        return self._readers[i]
+
+    def tag(self, t: int) -> Tag:
+        """Tag *t*."""
+        return self._tags[t]
+
+    @property
+    def reader_positions(self) -> np.ndarray:
+        """(n, 2) reader coordinates (copy)."""
+        return self._reader_pos.copy()
+
+    @property
+    def tag_positions(self) -> np.ndarray:
+        """(m, 2) tag coordinates (copy)."""
+        return self._tag_pos.copy()
+
+    @property
+    def interference_radii(self) -> np.ndarray:
+        """(n,) interference radii R_i (copy)."""
+        return self._interference_radii.copy()
+
+    @property
+    def interrogation_radii(self) -> np.ndarray:
+        """(n,) interrogation radii gamma_i (copy)."""
+        return self._interrogation_radii.copy()
+
+    # ------------------------------------------------------------------
+    # derived matrices (views; treat as read-only)
+    # ------------------------------------------------------------------
+    @property
+    def coverage(self) -> np.ndarray:
+        """Boolean ``(m, n)``: tag t inside reader i's interrogation region."""
+        return self._coverage
+
+    @property
+    def in_interference_range(self) -> np.ndarray:
+        """Directed boolean ``(n, n)``: ``[i, j]`` — i inside j's interference
+        disk (j's carrier drowns i's uplink when both are active)."""
+        return self._in_range
+
+    @property
+    def conflict(self) -> np.ndarray:
+        """Symmetric interference-graph adjacency (Definition 7)."""
+        return self._conflict
+
+    # ------------------------------------------------------------------
+    # feasibility (Definition 2)
+    # ------------------------------------------------------------------
+    def independent(self, i: int, j: int) -> bool:
+        """Whether readers *i* and *j* are independent."""
+        if i == j:
+            raise ValueError("independence is defined for distinct readers")
+        return bool(self._independent[i, j])
+
+    def is_feasible(self, active: Iterable[int]) -> bool:
+        """Whether *active* is a feasible scheduling set (pairwise
+        independent; the empty set is feasible)."""
+        idx = np.asarray(sorted(set(int(a) for a in active)), dtype=np.int64)
+        if idx.size <= 1:
+            return True
+        sub = self._conflict[np.ix_(idx, idx)]
+        return not bool(sub.any())
+
+    # ------------------------------------------------------------------
+    # well-covered tags and weight (Definitions 1 and 3)
+    # ------------------------------------------------------------------
+    def _normalize_active(self, active: Iterable[int]) -> np.ndarray:
+        idx = np.asarray(sorted(set(int(a) for a in active)), dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_readers):
+            raise IndexError("reader index out of range")
+        return idx
+
+    def operational_readers(self, active: Iterable[int]) -> np.ndarray:
+        """Subset of *active* readers not suffering RTc — i.e. not inside any
+        other active reader's interference disk.  For a feasible set this is
+        the whole set."""
+        idx = self._normalize_active(active)
+        if idx.size == 0:
+            return idx
+        sub = self._in_range[np.ix_(idx, idx)]
+        suffering = sub.any(axis=1)
+        return idx[~suffering]
+
+    def well_covered_tags(
+        self, active: Iterable[int], unread: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Tags well-covered by the active set (Definition 1): unread tags in
+        the interrogation region of exactly one active reader, that reader
+        being operational (RTc-free).  *active* need not be feasible."""
+        idx = self._normalize_active(active)
+        m = self.num_tags
+        if idx.size == 0 or m == 0:
+            return np.empty(0, dtype=np.int64)
+        cov = self._coverage[:, idx]
+        counts = cov.sum(axis=1)
+        once = counts == 1
+        if unread is not None:
+            unread = np.asarray(unread, dtype=bool)
+            if unread.shape != (m,):
+                raise ValueError(f"unread mask must have shape ({m},)")
+            once = once & unread
+        if not once.any():
+            return np.empty(0, dtype=np.int64)
+        # unique covering reader per exactly-once tag
+        owner_local = np.argmax(cov[once], axis=1)
+        operational = self.operational_readers(idx)
+        op_mask_local = np.isin(idx, operational)
+        good = op_mask_local[owner_local]
+        return np.flatnonzero(once)[good]
+
+    def weight(
+        self, active: Iterable[int], unread: Optional[np.ndarray] = None
+    ) -> int:
+        """Weight ``w(X)`` of the active set (Definition 3, generalised to
+        infeasible sets via the operational-reader rule)."""
+        return int(len(self.well_covered_tags(active, unread)))
+
+    def covered_by_any(self) -> np.ndarray:
+        """Boolean mask over tags: inside at least one interrogation region
+        (i.e. inside the monitored region M of Definition 4).  Tags outside M
+        can never be read by any schedule."""
+        return self._coverage.any(axis=1)
+
+    def exclusive_coverage_counts(self, active: Iterable[int]) -> np.ndarray:
+        """Per-active-reader count of tags it covers exclusively within the
+        active set (diagnostics for examples/benchmarks)."""
+        idx = self._normalize_active(active)
+        if idx.size == 0:
+            return np.empty(0, dtype=np.int64)
+        cov = self._coverage[:, idx]
+        counts = cov.sum(axis=1)
+        excl = cov & (counts == 1)[:, None]
+        return excl.sum(axis=0).astype(np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RFIDSystem(n_readers={self.num_readers}, n_tags={self.num_tags})"
+
+
+def build_system(
+    reader_positions: np.ndarray,
+    interference_radii: np.ndarray,
+    interrogation_radii: np.ndarray,
+    tag_positions: np.ndarray,
+) -> RFIDSystem:
+    """Array-first constructor for :class:`RFIDSystem`.
+
+    Convenient for deployment generators and property-based tests that work
+    with raw arrays rather than entity lists.
+    """
+    reader_positions = as_points(reader_positions, "reader_positions")
+    tag_positions = (
+        as_points(tag_positions, "tag_positions")
+        if len(np.atleast_1d(tag_positions))
+        else np.empty((0, 2))
+    )
+    interference_radii = np.asarray(interference_radii, dtype=np.float64)
+    interrogation_radii = np.asarray(interrogation_radii, dtype=np.float64)
+    n = len(reader_positions)
+    if interference_radii.shape != (n,) or interrogation_radii.shape != (n,):
+        raise ValueError("radii arrays must match number of reader positions")
+    readers = [
+        Reader(
+            id=i,
+            x=float(reader_positions[i, 0]),
+            y=float(reader_positions[i, 1]),
+            interference_radius=float(interference_radii[i]),
+            interrogation_radius=float(interrogation_radii[i]),
+        )
+        for i in range(n)
+    ]
+    tags = [
+        Tag(id=t, x=float(tag_positions[t, 0]), y=float(tag_positions[t, 1]))
+        for t in range(len(tag_positions))
+    ]
+    return RFIDSystem(readers, tags)

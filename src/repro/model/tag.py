@@ -1,0 +1,31 @@
+"""Tag entity.
+
+Tags are passive (Section I): no battery, no initiative — they only reflect a
+reader's carrier.  A tag's full behavioural state in this model is its
+position plus whether it has been read; the latter is tracked population-wide
+by :class:`repro.model.state.ReadState`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Tag:
+    """A passive RFID tag at a fixed position."""
+
+    id: int
+    x: float
+    y: float
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise ValueError(f"tag id must be >= 0, got {self.id}")
+
+    @property
+    def position(self) -> np.ndarray:
+        """Position as a (2,) array."""
+        return np.array([self.x, self.y], dtype=np.float64)

@@ -1,0 +1,25 @@
+"""Shared utilities: seeded RNG handling, validation helpers, timing.
+
+These are deliberately dependency-light; every other subpackage may import
+:mod:`repro.util` but not vice versa.
+"""
+
+from repro.util.rng import RngLike, as_rng, spawn_rngs
+from repro.util.timing import Stopwatch
+from repro.util.validation import (
+    check_finite_array,
+    check_in_range,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RngLike",
+    "as_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "check_finite_array",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,78 @@
+"""Lightweight wall-clock instrumentation for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock intervals.
+
+    Usage::
+
+        sw = Stopwatch()
+        with sw.measure("ptas"):
+            solve(...)
+        sw.total("ptas")  # seconds
+    """
+
+    _totals: Dict[str, float] = field(default_factory=dict)
+    _counts: Dict[str, int] = field(default_factory=dict)
+    _samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    def measure(self, label: str) -> "_Interval":
+        """Context manager timing one *label* interval."""
+        return _Interval(self, label)
+
+    def record(self, label: str, seconds: float) -> None:
+        """Record one interval of *seconds* under *label*."""
+        self._totals[label] = self._totals.get(label, 0.0) + seconds
+        self._counts[label] = self._counts.get(label, 0) + 1
+        self._samples.setdefault(label, []).append(seconds)
+
+    def total(self, label: str) -> float:
+        """Total seconds recorded under *label*."""
+        return self._totals.get(label, 0.0)
+
+    def count(self, label: str) -> int:
+        """Number of intervals recorded under *label*."""
+        return self._counts.get(label, 0)
+
+    def mean(self, label: str) -> float:
+        """Mean interval length for *label* (0 when unseen)."""
+        n = self.count(label)
+        return self.total(label) / n if n else 0.0
+
+    def samples(self, label: str) -> List[float]:
+        """Raw interval samples for *label*."""
+        return list(self._samples.get(label, ()))
+
+    def labels(self) -> List[str]:
+        """All labels seen, sorted."""
+        return sorted(self._totals)
+
+    def summary(self) -> str:
+        """Multi-line totals/counts/means per label."""
+        rows = [
+            f"{label}: total={self.total(label):.4f}s "
+            f"n={self.count(label)} mean={self.mean(label):.4f}s"
+            for label in self.labels()
+        ]
+        return "\n".join(rows)
+
+
+class _Interval:
+    def __init__(self, watch: Stopwatch, label: str):
+        self._watch = watch
+        self._label = label
+        self._start = 0.0
+
+    def __enter__(self) -> "_Interval":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._watch.record(self._label, time.perf_counter() - self._start)

@@ -1,0 +1,56 @@
+"""Argument-validation helpers with uniform error messages.
+
+Raising early with a precise message is cheaper than debugging a NaN that
+surfaces three modules downstream of a bad radius.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> float:
+    """Validate that *value* is positive (or non-negative if not *strict*)."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    low_open: bool = False,
+    high_open: bool = False,
+) -> float:
+    """Validate that *value* lies in the interval [low, high] (open per flags)."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    lo_ok = value > low if low_open else value >= low
+    hi_ok = value < high if high_open else value <= high
+    if not (lo_ok and hi_ok):
+        lo_b = "(" if low_open else "["
+        hi_b = ")" if high_open else "]"
+        raise ValueError(f"{name} must be in {lo_b}{low}, {high}{hi_b}, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that *value* is a probability in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_finite_array(name: str, arr: np.ndarray) -> np.ndarray:
+    """Validate that *arr* contains only finite values; returns the array."""
+    arr = np.asarray(arr)
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr

@@ -1,0 +1,134 @@
+"""ASCII rendering of deployments and schedules.
+
+Terminal-native visualisation for the examples and for debugging scheduler
+decisions: a character raster of the deployment region showing readers
+(``R`` active / ``r`` idle), tags (``+`` unread / ``.`` read) and, at higher
+detail, interrogation-disk outlines.  No plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.model.system import RFIDSystem
+from repro.util.validation import check_positive
+
+#: render precedence (later wins when glyphs collide on one cell)
+_GLYPHS = {"tag_read": ".", "tag_unread": "+", "reader_idle": "r", "reader_active": "R"}
+
+
+def render_deployment(
+    system: RFIDSystem,
+    active: Optional[Iterable[int]] = None,
+    unread: Optional[np.ndarray] = None,
+    width: int = 72,
+    show_ranges: bool = False,
+    side: Optional[float] = None,
+) -> str:
+    """Render the deployment as an ASCII raster.
+
+    Parameters
+    ----------
+    active:
+        Readers drawn as ``R`` (others as ``r``).
+    unread:
+        Boolean mask; unread tags draw as ``+``, read tags as ``.``.
+    width:
+        Raster width in characters; height follows the region aspect ratio
+        (cells are treated as 2:1 tall, terminal-style).
+    show_ranges:
+        Additionally trace each *active* reader's interrogation circle
+        with ``o`` characters.
+    side:
+        Region side length; inferred from the content when omitted.
+    """
+    check_positive("width", width)
+    n, m = system.num_readers, system.num_tags
+    if n == 0 and m == 0:
+        return "(empty system)"
+
+    pts = [system.reader_positions[:, :2]] if n else []
+    if m:
+        pts.append(system.tag_positions[:, :2])
+    allpts = np.vstack(pts)
+    extent = float(side) if side is not None else float(allpts.max()) or 1.0
+    height = max(int(round(width / 2)), 1)
+
+    def cell(x: float, y: float):
+        cx = min(int(x / extent * (width - 1)), width - 1)
+        cy = min(int(y / extent * (height - 1)), height - 1)
+        return (height - 1 - cy, cx)  # y grows upward on screen
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    active_set = set(int(a) for a in active) if active is not None else set()
+    unread_mask = (
+        np.asarray(unread, dtype=bool)
+        if unread is not None
+        else np.ones(m, dtype=bool)
+    )
+
+    if show_ranges:
+        for i in sorted(active_set):
+            r = float(system.interrogation_radii[i])
+            cx, cy = system.reader_positions[i]
+            for theta in np.linspace(0, 2 * np.pi, 90, endpoint=False):
+                px = cx + r * np.cos(theta)
+                py = cy + r * np.sin(theta)
+                if 0 <= px <= extent and 0 <= py <= extent:
+                    row, col = cell(px, py)
+                    if grid[row][col] == " ":
+                        grid[row][col] = "o"
+
+    for t in range(m):
+        row, col = cell(*system.tag_positions[t])
+        glyph = _GLYPHS["tag_unread"] if unread_mask[t] else _GLYPHS["tag_read"]
+        if grid[row][col] in (" ", "o", "."):
+            grid[row][col] = glyph
+
+    for i in range(n):
+        row, col = cell(*system.reader_positions[i])
+        grid[row][col] = (
+            _GLYPHS["reader_active"] if i in active_set else _GLYPHS["reader_idle"]
+        )
+
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    legend = (
+        f"R=active reader ({len(active_set)})  r=idle reader  "
+        f"+=unread tag  .=read tag"
+    )
+    return f"{border}\n{body}\n{border}\n{legend}"
+
+
+def render_schedule_timeline(
+    reads_per_slot: Sequence[int], width: int = 60, label: str = "slot"
+) -> str:
+    """Horizontal bar chart of tags served per slot."""
+    check_positive("width", width)
+    reads = [int(x) for x in reads_per_slot]
+    if not reads:
+        return "(empty schedule)"
+    peak = max(max(reads), 1)
+    lines = []
+    for i, count in enumerate(reads):
+        bar = "#" * max(int(round(count / peak * width)), 1 if count else 0)
+        lines.append(f"{label} {i:3d} |{bar:<{width}s}| {count}")
+    return "\n".join(lines)
+
+
+def render_interference_matrix(system: RFIDSystem, max_readers: int = 40) -> str:
+    """Compact adjacency triangle of the interference graph (``#`` = the
+    pair conflicts)."""
+    n = min(system.num_readers, max_readers)
+    lines = ["interference graph (lower triangle, #=conflict):"]
+    for i in range(1, n):
+        row = "".join(
+            "#" if system.conflict[i, j] else "." for j in range(i)
+        )
+        lines.append(f"{i:3d} {row}")
+    if system.num_readers > max_readers:
+        lines.append(f"... truncated at {max_readers} readers")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Tests for the Colorwave baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ColorwaveConfig,
+    colorwave_coloring,
+    colorwave_covering_schedule,
+    colorwave_oneshot,
+)
+from repro.baselines.colorwave import _repair_class
+from tests.conftest import make_random_system
+
+
+@pytest.fixture
+def system():
+    return make_random_system(15, 150, 40, 12, 6, seed=4)
+
+
+class TestColoring:
+    def test_stabilises_to_proper_coloring(self, system):
+        outcome = colorwave_coloring(system, seed=0)
+        assert outcome.stable
+        colors = outcome.colors
+        conflict = system.conflict
+        ii, jj = np.nonzero(np.triu(conflict, 1))
+        assert not np.any(colors[ii] == colors[jj])
+
+    def test_color_classes_partition_readers(self, system):
+        outcome = colorwave_coloring(system, seed=0)
+        members = np.concatenate(outcome.color_classes())
+        assert sorted(members.tolist()) == list(range(system.num_readers))
+
+    def test_classes_are_feasible(self, system):
+        outcome = colorwave_coloring(system, seed=0)
+        if outcome.stable:
+            for cls in outcome.color_classes():
+                assert system.is_feasible(cls.tolist())
+
+    def test_deterministic_given_seed(self, system):
+        a = colorwave_coloring(system, seed=5)
+        b = colorwave_coloring(system, seed=5)
+        np.testing.assert_array_equal(a.colors, b.colors)
+
+    def test_metrics(self, system):
+        outcome = colorwave_coloring(system, seed=0)
+        assert outcome.rounds >= 1
+        assert outcome.messages > 0
+        assert outcome.num_colors >= 1
+
+    def test_max_rounds_cap(self, system):
+        cfg = ColorwaveConfig(max_rounds=1, stable_rounds=5)
+        outcome = colorwave_coloring(system, seed=0, config=cfg)
+        assert outcome.rounds == 1
+        assert not outcome.stable
+
+    def test_edgeless_graph_trivially_stable(self):
+        system = make_random_system(5, 20, 300, 2, 1, seed=0)
+        assert not system.conflict.any()
+        outcome = colorwave_coloring(system, seed=0)
+        assert outcome.stable
+        assert outcome.rounds <= ColorwaveConfig().stable_rounds + 1
+
+
+class TestRepairClass:
+    def test_proper_class_untouched(self, system):
+        assert _repair_class(system, [0]) == [0]
+
+    def test_conflicting_pair_pruned(self, line_system):
+        kept = _repair_class(line_system, [0, 1, 2])
+        assert kept == [0, 2]  # drops 1 (conflicts with kept 0)
+
+    def test_result_always_feasible(self, system):
+        kept = _repair_class(system, list(range(system.num_readers)))
+        assert system.is_feasible(kept)
+
+
+class TestOneshot:
+    def test_returns_feasible(self, system):
+        res = colorwave_oneshot(system, seed=0)
+        assert res.feasible
+        assert res.weight >= 0
+
+    def test_meta(self, system):
+        res = colorwave_oneshot(system, seed=0)
+        assert res.meta["solver"] == "colorwave"
+        assert res.meta["num_colors"] >= 1
+
+    def test_below_exact(self, system):
+        from repro.core import exact_mwfs
+
+        res = colorwave_oneshot(system, seed=0)
+        assert res.weight <= exact_mwfs(system).weight
+
+
+class TestCoveringSchedule:
+    def test_completes(self, system):
+        result = colorwave_covering_schedule(system, seed=0)
+        assert result.complete
+        assert result.tags_read_total == int(system.covered_by_any().sum())
+
+    def test_all_slots_feasible(self, system):
+        result = colorwave_covering_schedule(system, seed=0)
+        for slot in result.slots:
+            assert system.is_feasible(slot.active.tolist())
+
+    def test_no_double_reads(self, system):
+        result = colorwave_covering_schedule(system, seed=0)
+        seen = [t for slot in result.slots for t in slot.tags_read.tolist()]
+        assert len(seen) == len(set(seen))
+
+    def test_needs_more_slots_than_exact_greedy(self, system):
+        from repro.core import get_solver, greedy_covering_schedule
+
+        cw = colorwave_covering_schedule(system, seed=0)
+        exact = greedy_covering_schedule(system, get_solver("exact"))
+        assert cw.size >= exact.size
+
+    def test_slot_cap(self, system):
+        result = colorwave_covering_schedule(system, seed=0, max_slots=2)
+        assert result.size <= 2

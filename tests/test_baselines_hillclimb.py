@@ -1,0 +1,91 @@
+"""Tests for the Greedy Hill-Climbing baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import greedy_hill_climbing
+from repro.core import exact_mwfs
+from tests.conftest import make_random_system, system_strategy
+
+
+class TestWeightAwareClimber:
+    def test_never_exceeds_exact(self, small_system):
+        ghc = greedy_hill_climbing(small_system)
+        opt = exact_mwfs(small_system)
+        assert ghc.weight <= opt.weight
+
+    def test_at_least_best_singleton(self, small_system):
+        ghc = greedy_hill_climbing(small_system)
+        best_solo = max(
+            small_system.weight([i]) for i in range(small_system.num_readers)
+        )
+        assert ghc.weight >= best_solo
+
+    def test_deterministic(self, small_system):
+        a = greedy_hill_climbing(small_system)
+        b = greedy_hill_climbing(small_system)
+        np.testing.assert_array_equal(a.active, b.active)
+
+    def test_figure2_avoids_middle_reader(self, figure2_system):
+        """The weight-aware climber adds B first (solo weight 3) and then
+        cannot improve: adding A or C would RRc-blank an overlap tag for a
+        net gain of 0.  It gets stuck at 3 — exactly the local optimum the
+        greedy rule implies (OPT is 4)."""
+        res = greedy_hill_climbing(figure2_system)
+        assert res.weight == 3
+        np.testing.assert_array_equal(res.active, [1])
+
+    def test_empty_system(self):
+        from repro.model import RFIDSystem
+
+        res = greedy_hill_climbing(RFIDSystem([], []))
+        assert res.size == 0
+
+    def test_zero_coverage_stops_immediately(self):
+        system = make_random_system(5, 0, 20, 6, 3, seed=0)
+        res = greedy_hill_climbing(system)
+        assert res.size == 0
+
+    def test_may_be_infeasible_by_design(self):
+        """GHC does not enforce feasibility; on dense instances it may keep
+        a conflicting reader whose net weight contribution is positive."""
+        # this specific seed produces an infeasible GHC set (cf. the
+        # ghc_gain ablation at lambda_R=26)
+        system = make_random_system(40, 800, 100, 26, 6, seed=0)
+        res = greedy_hill_climbing(system, gain_mode="coverage")
+        assert not res.feasible
+
+    def test_require_feasible_variant(self, small_system):
+        res = greedy_hill_climbing(small_system, require_feasible=True)
+        assert res.feasible
+
+
+class TestNaiveClimber:
+    def test_weaker_than_aware(self, small_system):
+        aware = greedy_hill_climbing(small_system, gain_mode="weight")
+        naive = greedy_hill_climbing(small_system, gain_mode="coverage")
+        assert naive.weight <= aware.weight
+
+    def test_bad_gain_mode(self, small_system):
+        with pytest.raises(ValueError):
+            greedy_hill_climbing(small_system, gain_mode="magic")
+
+    def test_unread_mask(self, small_system):
+        unread = np.zeros(small_system.num_tags, dtype=bool)
+        res = greedy_hill_climbing(small_system, unread=unread, gain_mode="coverage")
+        assert res.weight == 0
+
+
+class TestProperties:
+    @given(system=system_strategy(max_readers=8, max_tags=30))
+    @settings(max_examples=20, deadline=None)
+    def test_weight_below_exact(self, system):
+        ghc = greedy_hill_climbing(system)
+        assert ghc.weight <= exact_mwfs(system).weight
+
+    @given(system=system_strategy(max_readers=8, max_tags=30))
+    @settings(max_examples=20, deadline=None)
+    def test_reported_weight_honest(self, system):
+        ghc = greedy_hill_climbing(system)
+        assert ghc.weight == system.weight(ghc.active)

@@ -1,0 +1,54 @@
+"""Tests for the random-feasible baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import random_feasible_set
+from tests.conftest import make_random_system, system_strategy
+
+
+class TestRandomFeasibleSet:
+    def test_feasible(self, small_system):
+        res = random_feasible_set(small_system, seed=0)
+        assert res.feasible
+
+    def test_maximal(self, small_system):
+        """No reader outside the set is independent of all members."""
+        res = random_feasible_set(small_system, seed=0)
+        chosen = set(res.active.tolist())
+        for r in range(small_system.num_readers):
+            if r in chosen:
+                continue
+            assert small_system.conflict[r, sorted(chosen)].any(), (
+                f"reader {r} could have been added"
+            )
+
+    def test_deterministic_given_seed(self, small_system):
+        a = random_feasible_set(small_system, seed=3)
+        b = random_feasible_set(small_system, seed=3)
+        np.testing.assert_array_equal(a.active, b.active)
+
+    def test_varies_across_seeds(self, paper_system):
+        sets = {
+            tuple(random_feasible_set(paper_system, seed=s).active.tolist())
+            for s in range(5)
+        }
+        assert len(sets) > 1
+
+    def test_edgeless_takes_everyone(self):
+        system = make_random_system(6, 30, 300, 2, 1, seed=0)
+        assert not system.conflict.any()
+        res = random_feasible_set(system, seed=0)
+        assert res.size == 6
+
+    @given(system=system_strategy(max_readers=10), seed=st.integers(0, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_always_feasible_and_maximal(self, system, seed):
+        res = random_feasible_set(system, seed=seed)
+        assert system.is_feasible(res.active)
+        chosen = res.active.tolist()
+        for r in range(system.num_readers):
+            if r not in chosen:
+                assert system.conflict[r, chosen].any()

@@ -1,0 +1,141 @@
+"""Tests for the rfid-sched CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListSolvers:
+    def test_lists_builtins(self, capsys):
+        assert main(["list-solvers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ptas", "centralized", "distributed", "exact"):
+            assert name in out
+
+
+class TestSolve:
+    def test_oneshot_default(self, capsys):
+        rc = main(
+            [
+                "solve",
+                "--readers", "12", "--tags", "100", "--side", "40",
+                "--lambda-R", "8", "--lambda-r", "5", "--seed", "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "one-shot (ptas)" in out
+        assert "weight=" in out
+
+    def test_schedule_mode(self, capsys):
+        rc = main(
+            [
+                "solve", "--solver", "centralized", "--schedule",
+                "--readers", "12", "--tags", "100", "--side", "40",
+                "--lambda-R", "8", "--lambda-r", "5", "--seed", "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "covering schedule:" in out
+        assert "complete=True" in out
+
+    def test_schedule_with_linklayer(self, capsys):
+        rc = main(
+            [
+                "solve", "--schedule", "--linklayer", "aloha",
+                "--readers", "10", "--tags", "80", "--side", "40",
+                "--lambda-R", "8", "--lambda-r", "5", "--seed", "1",
+            ]
+        )
+        assert rc == 0
+        assert "micro-slots" in capsys.readouterr().out
+
+    def test_colorwave_schedule(self, capsys):
+        rc = main(
+            [
+                "solve", "--solver", "colorwave", "--schedule",
+                "--readers", "10", "--tags", "80", "--side", "40",
+                "--lambda-R", "8", "--lambda-r", "5", "--seed", "1",
+            ]
+        )
+        assert rc == 0
+        assert "covering schedule:" in capsys.readouterr().out
+
+    def test_unknown_solver_raises(self):
+        with pytest.raises(KeyError):
+            main(["solve", "--solver", "nope", "--readers", "5", "--tags", "10"])
+
+
+class TestCoverage:
+    def test_report_printed(self, capsys):
+        rc = main(
+            [
+                "coverage", "--readers", "10", "--tags", "80", "--side", "40",
+                "--lambda-R", "8", "--lambda-r", "5", "--seed", "2",
+                "--samples", "2000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "monitored region M" in out
+        assert "RRc-exposed overlap" in out
+        assert "coverable tags" in out
+
+
+class TestRender:
+    def test_map_and_summary_printed(self, capsys):
+        rc = main(
+            [
+                "render", "--readers", "10", "--tags", "80", "--side", "40",
+                "--lambda-R", "8", "--lambda-r", "5", "--seed", "2",
+                "--width", "50", "--solver", "centralized",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "R=active reader" in out
+        assert "covering schedule:" in out
+        assert "fairness" in out
+
+
+class TestSweep:
+    def test_custom_sweep_runs(self, capsys, tmp_path):
+        out = tmp_path / "sweep.json"
+        rc = main(
+            [
+                "sweep", "--param", "lambda_r", "--values", "3", "6",
+                "--algos", "centralized", "random",
+                "--readers", "10", "--tags", "80", "--side", "40",
+                "--seeds", "0", "--save", str(out),
+            ]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "custom sweep" in printed
+        assert out.exists()
+        from repro.io import load_sweep
+
+        loaded = load_sweep(out)
+        assert loaded.metrics == ["centralized", "random"]
+
+    def test_mcs_metric(self, capsys):
+        rc = main(
+            [
+                "sweep", "--param", "lambda_R", "--values", "8", "--fixed", "5",
+                "--metric", "mcs_size", "--algos", "centralized",
+                "--readers", "10", "--tags", "80", "--side", "40", "--seeds", "0",
+            ]
+        )
+        assert rc == 0
+        assert "mcs_size vs lambda_R" in capsys.readouterr().out
+
+
+class TestFigure:
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

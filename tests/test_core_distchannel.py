@@ -1,0 +1,67 @@
+"""Tests for the distributed channel-assignment protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.multichannel import (
+    INACTIVE,
+    distributed_channel_assignment,
+    greedy_multichannel_assignment,
+    is_channel_feasible,
+    multichannel_weight,
+)
+from tests.conftest import make_random_system
+
+
+@pytest.fixture
+def system():
+    return make_random_system(15, 150, 40, 12, 6, seed=7)
+
+
+class TestDistributedChannelAssignment:
+    def test_always_feasible(self, system):
+        for c in (1, 2, 3):
+            a = distributed_channel_assignment(system, c, seed=0)
+            assert is_channel_feasible(system, a)
+
+    def test_enough_channels_activate_everyone(self, system):
+        max_deg = int(system.conflict.sum(axis=1).max())
+        a = distributed_channel_assignment(system, max_deg + 1, seed=0)
+        # Colorwave converges to a proper colouring with Δ+1 colours, so no
+        # reader should have been deactivated by the repair step
+        assert len(a.active) == system.num_readers
+
+    def test_scarce_channels_deactivate_somebody(self):
+        # a clique of 4 with 2 channels can keep at most 2 readers
+        from repro.model import build_system
+
+        system = build_system(
+            np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]),
+            np.full(4, 10.0),
+            np.full(4, 2.0),
+            np.array([[0.0, 0.2]]),
+        )
+        a = distributed_channel_assignment(system, 2, seed=0, max_rounds=50)
+        assert len(a.active) <= 2
+        assert is_channel_feasible(system, a)
+
+    def test_deterministic(self, system):
+        a = distributed_channel_assignment(system, 2, seed=3)
+        b = distributed_channel_assignment(system, 2, seed=3)
+        np.testing.assert_array_equal(a.channels, b.channels)
+
+    def test_weight_comparable_to_centralized_greedy(self, system):
+        """The distributed protocol is weight-oblivious; it should land
+        within a reasonable factor of the weight-aware greedy assigner."""
+        dist = multichannel_weight(
+            system, distributed_channel_assignment(system, 3, seed=0)
+        )
+        greedy = multichannel_weight(
+            system, greedy_multichannel_assignment(system, 3)
+        )
+        assert dist <= greedy
+        assert dist >= 0.4 * greedy
+
+    def test_validation(self, system):
+        with pytest.raises(ValueError):
+            distributed_channel_assignment(system, 0)

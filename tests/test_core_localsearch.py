@@ -1,0 +1,65 @@
+"""Tests for the simulated-annealing local-search solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import exact_mwfs
+from repro.core.localsearch import local_search_mwfs
+from tests.conftest import make_random_system, system_strategy
+
+
+class TestLocalSearch:
+    def test_feasible_and_bounded(self, small_system):
+        result = local_search_mwfs(small_system, seed=0)
+        assert result.feasible
+        assert result.weight <= exact_mwfs(small_system).weight
+
+    def test_deterministic_given_seed(self, small_system):
+        a = local_search_mwfs(small_system, seed=5)
+        b = local_search_mwfs(small_system, seed=5)
+        np.testing.assert_array_equal(a.active, b.active)
+
+    def test_escapes_figure2_local_optimum(self, figure2_system):
+        """GHC gets stuck at w=3 on Figure 2 (it cannot drop reader B);
+        the drop move lets local search reach the optimum 4."""
+        result = local_search_mwfs(figure2_system, seed=0, iterations=500)
+        assert result.weight == 4
+
+    def test_near_exact_on_small_instances(self):
+        for seed in range(4):
+            system = make_random_system(12, 120, 35, 10, 6, seed=seed)
+            opt = exact_mwfs(system).weight
+            got = local_search_mwfs(system, seed=seed).weight
+            assert got >= 0.9 * opt, (seed, got, opt)
+
+    def test_registry(self, small_system):
+        from repro.core import get_solver
+
+        result = get_solver("localsearch")(small_system, None, 3)
+        assert result.meta["solver"] == "localsearch"
+
+    def test_empty_system(self):
+        from repro.model import RFIDSystem
+
+        assert local_search_mwfs(RFIDSystem([], []), seed=0).size == 0
+
+    def test_unread_mask(self, small_system):
+        unread = np.zeros(small_system.num_tags, dtype=bool)
+        assert local_search_mwfs(small_system, unread=unread, seed=0).weight == 0
+
+    def test_validation(self, small_system):
+        with pytest.raises(ValueError):
+            local_search_mwfs(small_system, iterations=0)
+        with pytest.raises(ValueError):
+            local_search_mwfs(small_system, restarts=0)
+        with pytest.raises(ValueError):
+            local_search_mwfs(small_system, cooling=1.5)
+
+    @given(system=system_strategy(max_readers=7, max_tags=20), seed=st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_property_feasible(self, system, seed):
+        result = local_search_mwfs(system, seed=seed, iterations=200, restarts=1)
+        assert system.is_feasible(result.active)
+        assert result.weight == system.weight(result.active)

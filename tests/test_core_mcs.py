@@ -1,0 +1,156 @@
+"""Tests for the greedy covering-schedule driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_solver, greedy_covering_schedule
+from repro.model import ReadState
+from tests.conftest import make_random_system
+
+
+@pytest.fixture
+def system():
+    return make_random_system(12, 150, 40, 8, 5, seed=3)
+
+
+@pytest.fixture
+def exact_solver():
+    return get_solver("exact")
+
+
+class TestTermination:
+    def test_reads_all_coverable(self, system, exact_solver):
+        result = greedy_covering_schedule(system, exact_solver)
+        assert result.complete
+        coverable = int(system.covered_by_any().sum())
+        assert result.tags_read_total == coverable
+        assert len(result.uncovered_tags) == system.num_tags - coverable
+
+    def test_every_solver_completes(self, system):
+        for name in ("exact", "ptas", "centralized", "distributed", "ghc", "random"):
+            result = greedy_covering_schedule(
+                system, get_solver(name), seed=0
+            )
+            assert result.complete, name
+
+    def test_max_slots_cap(self, system, exact_solver):
+        result = greedy_covering_schedule(system, exact_solver, max_slots=1)
+        assert result.size == 1
+        # one exact slot cannot finish this instance
+        assert not result.complete
+
+    def test_empty_population(self, exact_solver):
+        from repro.model import RFIDSystem, Reader
+
+        system = RFIDSystem(
+            [Reader(id=0, x=0, y=0, interference_radius=2, interrogation_radius=1)],
+            [],
+        )
+        result = greedy_covering_schedule(system, exact_solver)
+        assert result.size == 0
+        assert result.complete
+
+
+class TestBookkeeping:
+    def test_slots_partition_coverable_tags(self, system, exact_solver):
+        result = greedy_covering_schedule(system, exact_solver)
+        seen = []
+        for slot in result.slots:
+            seen.extend(slot.tags_read.tolist())
+        assert len(seen) == len(set(seen)), "a tag was read twice"
+        coverable = set(np.flatnonzero(system.covered_by_any()).tolist())
+        assert set(seen) == coverable
+
+    def test_each_slot_weight_consistent(self, system, exact_solver):
+        result = greedy_covering_schedule(system, exact_solver)
+        for slot in result.slots:
+            assert slot.weight == slot.num_read == len(slot.tags_read)
+
+    def test_greedy_slots_weakly_decreasing_for_exact(self, system, exact_solver):
+        """With an exact one-shot solver the per-slot yield cannot increase:
+        a later slot's set was also available earlier on a superset of
+        unread tags."""
+        result = greedy_covering_schedule(system, exact_solver)
+        reads = result.reads_per_slot()
+        assert all(a >= b for a, b in zip(reads, reads[1:]))
+
+    def test_state_mutated_in_place(self, system, exact_solver):
+        state = ReadState(system.num_tags)
+        greedy_covering_schedule(system, exact_solver, state=state)
+        coverable = int(system.covered_by_any().sum())
+        assert state.num_read() == coverable
+
+    def test_resume_from_partial_state(self, system, exact_solver):
+        state = ReadState(system.num_tags)
+        greedy_covering_schedule(system, exact_solver, state=state, max_slots=1)
+        read_after_one = state.num_read()
+        assert read_after_one > 0
+        result = greedy_covering_schedule(system, exact_solver, state=state)
+        assert result.complete
+        assert result.tags_read_total == int(system.covered_by_any().sum()) - read_after_one
+
+
+class TestReadModes:
+    def test_single_mode_one_tag_per_reader(self, system, exact_solver):
+        result = greedy_covering_schedule(
+            system, exact_solver, read_mode="single"
+        )
+        assert result.complete
+        for slot in result.slots:
+            # at most one tag per active reader
+            assert slot.num_read <= len(slot.active)
+
+    def test_single_mode_needs_more_slots(self, system, exact_solver):
+        all_mode = greedy_covering_schedule(system, exact_solver)
+        single = greedy_covering_schedule(system, exact_solver, read_mode="single")
+        assert single.size >= all_mode.size
+
+    def test_bad_mode(self, system, exact_solver):
+        with pytest.raises(ValueError):
+            greedy_covering_schedule(system, exact_solver, read_mode="both")
+
+
+class TestZeroWeightFallback:
+    def test_fallback_singleton_used(self, system):
+        """A solver that always returns the empty set must not stall the
+        schedule — the driver activates best singletons instead."""
+
+        def useless_solver(sys_, unread, seed):
+            from repro.core.oneshot import make_result
+
+            return make_result(sys_, [], unread)
+
+        result = greedy_covering_schedule(system, useless_solver)
+        assert result.complete
+        for slot in result.slots:
+            assert len(slot.active) == 1
+
+
+class TestLinkLayerIntegration:
+    def test_inventory_attached(self, system, exact_solver):
+        result = greedy_covering_schedule(
+            system, exact_solver, linklayer="aloha", seed=0
+        )
+        for slot in result.slots:
+            assert slot.inventory is not None
+            assert slot.inventory.tags_read == slot.num_read
+        assert result.total_micro_slots > 0
+
+    def test_no_linklayer_by_default(self, system, exact_solver):
+        result = greedy_covering_schedule(system, exact_solver)
+        assert all(slot.inventory is None for slot in result.slots)
+        assert result.total_micro_slots == 0
+
+    def test_deterministic_with_seed(self, system, exact_solver):
+        a = greedy_covering_schedule(system, exact_solver, linklayer="aloha", seed=4)
+        b = greedy_covering_schedule(system, exact_solver, linklayer="aloha", seed=4)
+        assert a.total_micro_slots == b.total_micro_slots
+
+    def test_single_mode_with_linklayer(self, system, exact_solver):
+        result = greedy_covering_schedule(
+            system, exact_solver, read_mode="single", linklayer="treewalk", seed=1
+        )
+        assert result.complete
+        for slot in result.slots:
+            assert slot.inventory is not None
+            assert slot.num_read <= len(slot.active)

@@ -1,0 +1,87 @@
+"""Tests for the one-shot solver protocol and registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.oneshot import (
+    OneShotResult,
+    available_solvers,
+    get_solver,
+    make_result,
+    register_solver,
+)
+
+
+class TestMakeResult:
+    def test_weight_computed_not_trusted(self, line_system):
+        result = make_result(line_system, [0, 2])
+        assert result.weight == line_system.weight([0, 2])
+        assert result.feasible
+
+    def test_infeasible_flagged(self, line_system):
+        result = make_result(line_system, [0, 1])
+        assert not result.feasible
+
+    def test_active_sorted_unique(self, line_system):
+        result = make_result(line_system, [2, 0, 2])
+        np.testing.assert_array_equal(result.active, [0, 2])
+
+    def test_meta_passthrough(self, line_system):
+        result = make_result(line_system, [0], solver="x", foo=1)
+        assert result.meta == {"solver": "x", "foo": 1}
+
+    def test_size(self, line_system):
+        assert make_result(line_system, [0, 2]).size == 2
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        names = available_solvers()
+        for expected in (
+            "exact",
+            "ptas",
+            "centralized",
+            "distributed",
+            "ghc",
+            "ghc_naive",
+            "colorwave",
+            "random",
+            "csma",
+            "localsearch",
+        ):
+            assert expected in names
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown solver"):
+            get_solver("definitely-not-a-solver")
+
+    def test_solver_kwargs_forwarded(self, small_system):
+        k2 = get_solver("ptas", k=2)(small_system, None, None)
+        assert k2.meta["k"] == 2
+
+    def test_all_builtins_run(self, small_system):
+        for name in available_solvers():
+            result = get_solver(name)(small_system, None, 0)
+            assert isinstance(result, OneShotResult)
+            assert result.weight >= 0
+
+    def test_custom_registration(self, small_system):
+        def factory(**kw):
+            def solver(system, unread=None, seed=None):
+                return make_result(system, [0], unread, solver="custom")
+
+            return solver
+
+        register_solver("custom-test", factory)
+        try:
+            result = get_solver("custom-test")(small_system, None, None)
+            assert result.meta["solver"] == "custom"
+        finally:
+            from repro.core import oneshot
+
+            oneshot._REGISTRY.pop("custom-test", None)
+
+    def test_ghc_naive_weaker_or_equal(self, small_system):
+        aware = get_solver("ghc")(small_system, None, 0)
+        naive = get_solver("ghc_naive")(small_system, None, 0)
+        assert naive.weight <= aware.weight

@@ -1,0 +1,174 @@
+"""Tests for deployment generators, radii sampling and scenarios."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deployment import (
+    PAPER_SCENARIO,
+    Scenario,
+    aisle_deployment,
+    build_scenario_system,
+    clustered_deployment,
+    grid_deployment,
+    sample_radii,
+    uniform_deployment,
+)
+
+
+class TestSampleRadii:
+    def test_invariant_holds(self):
+        interference, interrogation = sample_radii(500, 10, 5, seed=0)
+        assert (interrogation <= interference).all()
+        assert (interrogation >= 1).all()
+        assert (interference >= 1).all()
+
+    def test_means_approximate_lambdas(self):
+        interference, _ = sample_radii(5000, 10, 3, seed=1)
+        assert abs(interference.mean() - 10) < 0.3
+
+    def test_deterministic(self):
+        a = sample_radii(50, 8, 4, seed=5)
+        b = sample_radii(50, 8, 4, seed=5)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_zero_n(self):
+        interference, interrogation = sample_radii(0, 10, 5)
+        assert interference.size == 0 and interrogation.size == 0
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            sample_radii(-1, 10, 5)
+
+    def test_bad_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            sample_radii(5, 0, 5)
+        with pytest.raises(ValueError):
+            sample_radii(5, 5, -1)
+
+    @given(lam_R=st.floats(0.5, 20), lam_r=st.floats(0.5, 20), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_invariant_property(self, lam_R, lam_r, seed):
+        interference, interrogation = sample_radii(60, lam_R, lam_r, seed=seed)
+        assert (interrogation <= interference).all()
+        assert (interrogation >= 1).all()
+
+
+class TestUniformDeployment:
+    def test_shapes_and_bounds(self):
+        p = uniform_deployment(10, 20, side=50, seed=0)
+        assert p.reader_positions.shape == (10, 2)
+        assert p.tag_positions.shape == (20, 2)
+        assert (p.reader_positions >= 0).all() and (p.reader_positions <= 50).all()
+        assert p.side == 50
+
+    def test_negative_counts(self):
+        with pytest.raises(ValueError):
+            uniform_deployment(-1, 5)
+
+
+class TestClusteredDeployment:
+    def test_shapes(self):
+        p = clustered_deployment(8, 100, num_clusters=3, seed=0)
+        assert p.reader_positions.shape == (8, 2)
+        assert p.tag_positions.shape == (100, 2)
+        assert (p.tag_positions >= 0).all() and (p.tag_positions <= 100).all()
+
+    def test_clustering_is_real(self):
+        # clustered tags should have lower mean nearest-neighbour distance
+        # than uniform ones
+        from repro.geometry.points import pairwise_distances
+
+        pc = clustered_deployment(5, 200, num_clusters=3, cluster_std=2.0,
+                                  tag_cluster_fraction=1.0, seed=1)
+        pu = uniform_deployment(5, 200, seed=1)
+
+        def mean_nnd(pts):
+            d = pairwise_distances(pts, pts)
+            np.fill_diagonal(d, np.inf)
+            return d.min(axis=1).mean()
+
+        assert mean_nnd(pc.tag_positions) < mean_nnd(pu.tag_positions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clustered_deployment(5, 10, num_clusters=0)
+        with pytest.raises(ValueError):
+            clustered_deployment(5, 10, num_clusters=2, tag_cluster_fraction=1.5)
+
+
+class TestGridDeployment:
+    def test_lattice(self):
+        p = grid_deployment(2, 3, 10, side=60, seed=0)
+        assert p.reader_positions.shape == (6, 2)
+        xs = sorted(set(np.round(p.reader_positions[:, 0], 6)))
+        assert xs == [10.0, 30.0, 50.0]
+
+    def test_jitter_stays_in_bounds(self):
+        p = grid_deployment(3, 3, 0, side=30, jitter=5.0, seed=2)
+        assert (p.reader_positions >= 0).all() and (p.reader_positions <= 30).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_deployment(0, 3, 1)
+        with pytest.raises(ValueError):
+            grid_deployment(1, 1, 1, jitter=-1)
+
+
+class TestAisleDeployment:
+    def test_structure(self):
+        p = aisle_deployment(3, 4, 10, side=90, aisle_width=4, seed=0)
+        assert p.reader_positions.shape == (12, 2)
+        assert p.tag_positions.shape == (30, 2)
+        # readers sit exactly on aisle center-lines
+        ys = sorted(set(np.round(p.reader_positions[:, 1], 6)))
+        assert len(ys) == 3
+
+    def test_tags_near_aisles(self):
+        p = aisle_deployment(2, 3, 50, side=80, aisle_width=4, seed=1)
+        aisle_ys = np.array([20.0, 60.0])
+        for ty in p.tag_positions[:, 1]:
+            assert np.min(np.abs(aisle_ys - ty)) <= 2.0 + 1e-9
+
+    def test_zero_tags_allowed(self):
+        p = aisle_deployment(2, 2, 0, seed=0)
+        assert p.tag_positions.shape == (0, 2)
+
+
+class TestScenario:
+    def test_paper_defaults(self):
+        assert PAPER_SCENARIO.num_readers == 50
+        assert PAPER_SCENARIO.num_tags == 1200
+        assert PAPER_SCENARIO.side == 100.0
+
+    def test_build_deterministic(self):
+        a = Scenario(seed=4).build()
+        b = Scenario(seed=4).build()
+        np.testing.assert_array_equal(a.reader_positions, b.reader_positions)
+        np.testing.assert_array_equal(a.interference_radii, b.interference_radii)
+
+    def test_build_seed_override(self):
+        a = Scenario(seed=4).build(seed=9)
+        b = Scenario(seed=9).build()
+        np.testing.assert_array_equal(a.reader_positions, b.reader_positions)
+
+    def test_with_(self):
+        s = PAPER_SCENARIO.with_(lambda_interrogation=8)
+        assert s.lambda_interrogation == 8
+        assert s.num_readers == PAPER_SCENARIO.num_readers
+
+    def test_radii_invariant_in_built_system(self):
+        system = Scenario(seed=0).build()
+        assert (system.interrogation_radii <= system.interference_radii).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario(num_readers=-1)
+        with pytest.raises(ValueError):
+            Scenario(lambda_interference=0)
+
+    def test_build_scenario_system(self):
+        system = build_scenario_system(10, 5, seed=0, num_readers=7, num_tags=11)
+        assert system.num_readers == 7 and system.num_tags == 11

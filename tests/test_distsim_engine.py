@@ -1,0 +1,146 @@
+"""Tests for the synchronous message-passing engine."""
+
+import pytest
+
+from repro.distsim import Message, Node, SyncEngine
+
+
+class EchoNode(Node):
+    """Sends one greeting to each neighbour at start; counts receipts."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+
+    def on_start(self):
+        self.broadcast(("hello", self.id))
+
+    def on_round(self, round_no, inbox):
+        self.received.extend(msg.payload for msg in inbox)
+
+    def is_idle(self):
+        return True
+
+
+class RelayNode(Node):
+    """Forwards a token along a path graph."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.seen_at = None
+
+    def on_start(self):
+        if self.id == 0:
+            self.send(1, "token")
+
+    def on_round(self, round_no, inbox):
+        for msg in inbox:
+            self.seen_at = round_no
+            nxt = self.id + 1
+            if nxt in self._neighbor_set:
+                self.send(nxt, msg.payload)
+
+    def is_idle(self):
+        return True
+
+
+def path_adjacency(n):
+    return [
+        [j for j in (i - 1, i + 1) if 0 <= j < n] for i in range(n)
+    ]
+
+
+class TestConstruction:
+    def test_node_count_mismatch(self):
+        with pytest.raises(ValueError):
+            SyncEngine([[1], [0]], [EchoNode(0)])
+
+    def test_node_id_order_enforced(self):
+        with pytest.raises(ValueError):
+            SyncEngine([[1], [0]], [EchoNode(1), EchoNode(0)])
+
+    def test_asymmetric_adjacency_rejected(self):
+        with pytest.raises(ValueError, match="asymmetric"):
+            SyncEngine([[1], []], [EchoNode(0), EchoNode(1)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            SyncEngine([[0]], [EchoNode(0)])
+
+
+class TestDelivery:
+    def test_broadcast_reaches_neighbors_next_round(self):
+        nodes = [EchoNode(i) for i in range(3)]
+        engine = SyncEngine(path_adjacency(3), nodes)
+        engine.run()
+        assert ("hello", 1) in nodes[0].received
+        assert ("hello", 0) in nodes[1].received
+        assert ("hello", 2) in nodes[1].received
+        # non-neighbours never hear each other
+        assert ("hello", 2) not in nodes[0].received
+
+    def test_send_to_non_neighbor_raises(self):
+        class BadNode(Node):
+            def on_start(self):
+                self.send(2, "x")
+
+            def on_round(self, round_no, inbox):
+                pass
+
+        with pytest.raises(ValueError, match="non-neighbor"):
+            SyncEngine(path_adjacency(3), [BadNode(0), EchoNode(1), EchoNode(2)])._start()
+
+    def test_token_takes_one_round_per_hop(self):
+        nodes = [RelayNode(i) for i in range(5)]
+        engine = SyncEngine(path_adjacency(5), nodes)
+        engine.run()
+        # token sent at start arrives at node 1 in round 0, node 2 round 1, ...
+        assert nodes[1].seen_at == 0
+        assert nodes[4].seen_at == 3
+
+    def test_message_count(self):
+        nodes = [EchoNode(i) for i in range(4)]
+        engine = SyncEngine(path_adjacency(4), nodes)
+        stats = engine.run()
+        # path graph has 3 edges; each endpoint greets the other: 6 messages
+        assert stats.messages == 6
+
+    def test_quiescence(self):
+        nodes = [EchoNode(i) for i in range(3)]
+        engine = SyncEngine(path_adjacency(3), nodes)
+        stats = engine.run(max_rounds=1000)
+        assert stats.rounds <= 3  # greetings drain after one delivery round
+
+
+class TestStepAPI:
+    def test_manual_stepping(self):
+        nodes = [EchoNode(i) for i in range(2)]
+        engine = SyncEngine(path_adjacency(2), nodes)
+        engine.step()
+        assert nodes[0].received == [("hello", 1)]
+
+    def test_in_flight_property(self):
+        nodes = [EchoNode(i) for i in range(2)]
+        engine = SyncEngine(path_adjacency(2), nodes)
+        engine._start()
+        assert engine.in_flight == 2
+
+    def test_run_bad_max_rounds(self):
+        engine = SyncEngine([[]], [EchoNode(0)])
+        with pytest.raises(ValueError):
+            engine.run(max_rounds=0)
+
+    def test_node_accessor(self):
+        nodes = [EchoNode(0), EchoNode(1)]
+        engine = SyncEngine(path_adjacency(2), nodes)
+        assert engine.node(1) is nodes[1]
+
+
+class TestStatsMerge:
+    def test_merge(self):
+        from repro.distsim.engine import EngineStats
+
+        total = EngineStats(rounds=2, messages=5).merge(
+            EngineStats(rounds=3, messages=7)
+        )
+        assert total.rounds == 5 and total.messages == 12

@@ -1,0 +1,100 @@
+"""Tests for hop-bounded flooding."""
+
+import pytest
+
+from repro.distsim import FloodMessage, FloodService, Message, Node, SyncEngine
+
+
+class FloodNode(Node):
+    """Originates one flood (if told to) and records deliveries."""
+
+    def __init__(self, node_id, originate_ttl=None):
+        super().__init__(node_id)
+        self.originate_ttl = originate_ttl
+        self.delivered = []
+        self.flood = FloodService(self, on_deliver=self.delivered.append)
+
+    def on_start(self):
+        if self.originate_ttl is not None:
+            self.flood.originate(("payload", self.id), ttl=self.originate_ttl)
+
+    def on_round(self, round_no, inbox):
+        for msg in inbox:
+            self.flood.handle(msg)
+
+    def is_idle(self):
+        return True
+
+
+def path_adjacency(n):
+    return [[j for j in (i - 1, i + 1) if 0 <= j < n] for i in range(n)]
+
+
+def run_flood(n, origin, ttl, adjacency=None):
+    nodes = [
+        FloodNode(i, originate_ttl=ttl if i == origin else None) for i in range(n)
+    ]
+    engine = SyncEngine(adjacency or path_adjacency(n), nodes)
+    stats = engine.run()
+    return nodes, stats
+
+
+class TestReach:
+    def test_ttl_bounds_reach_exactly(self):
+        nodes, _ = run_flood(n=8, origin=0, ttl=3)
+        reached = [i for i, node in enumerate(nodes) if node.delivered]
+        assert reached == [0, 1, 2, 3]
+
+    def test_ttl_zero_reaches_only_self(self):
+        nodes, _ = run_flood(n=4, origin=1, ttl=0)
+        reached = [i for i, node in enumerate(nodes) if node.delivered]
+        assert reached == [1]
+
+    def test_negative_ttl_rejected(self):
+        node = FloodNode(0)
+        node._attach([])
+        with pytest.raises(ValueError):
+            node.flood.originate("x", ttl=-1)
+
+    def test_each_node_delivers_once(self):
+        # cycle graph: two paths to every node, but exactly one delivery
+        n = 6
+        adj = [[(i - 1) % n, (i + 1) % n] for i in range(n)]
+        nodes, _ = run_flood(n=n, origin=0, ttl=6, adjacency=adj)
+        for node in nodes:
+            assert len(node.delivered) == 1
+
+    def test_origin_receives_own_flood(self):
+        nodes, _ = run_flood(n=3, origin=0, ttl=2)
+        assert nodes[0].delivered[0].body == ("payload", 0)
+
+
+class TestMultipleFloods:
+    def test_independent_sequence_numbers(self):
+        node = FloodNode(0)
+        node._attach([])
+        a = node.flood.originate("a", ttl=0)
+        b = node.flood.originate("b", ttl=0)
+        assert a.seq != b.seq
+        assert node.flood.has_seen(0, a.seq)
+        assert node.flood.has_seen(0, b.seq)
+
+    def test_two_origins(self):
+        nodes = [
+            FloodNode(0, originate_ttl=2),
+            FloodNode(1),
+            FloodNode(2, originate_ttl=2),
+        ]
+        engine = SyncEngine(path_adjacency(3), nodes)
+        engine.run()
+        # middle node hears both floods
+        bodies = {fm.body for fm in nodes[1].delivered}
+        assert bodies == {("payload", 0), ("payload", 2)}
+
+
+class TestHandleValidation:
+    def test_non_flood_payload_rejected(self):
+        node = FloodNode(0)
+        node._attach([1])
+        with pytest.raises(TypeError):
+            node.flood.handle(Message(1, 0, "raw-string", 0))

@@ -1,0 +1,112 @@
+"""Tests for protocol tracing."""
+
+import pytest
+
+from repro.core.distributed import run_distributed_protocol
+from repro.distsim import Node, SyncEngine, Tracer
+from tests.conftest import make_random_system
+
+
+class ChattyNode(Node):
+    """Rumor spreading: node 0 knows ('b'), others learn on first receipt.
+
+    Tracer snapshots are taken *after* each round, so the visible history
+    starts at round 0's post-state.
+    """
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.mood = "b" if node_id == 0 else "a"
+
+    def on_start(self):
+        if self.id == 0:
+            self.broadcast("rumor")
+
+    def on_round(self, round_no, inbox):
+        if inbox and self.mood == "a":
+            self.mood = "b"
+            self.broadcast("rumor")
+
+    def is_idle(self):
+        return True
+
+
+def path_adjacency(n):
+    return [[j for j in (i - 1, i + 1) if 0 <= j < n] for i in range(n)]
+
+
+class TestTracer:
+    def test_records_rounds_and_messages(self):
+        tracer = Tracer(state_fn=lambda n: n.mood)
+        nodes = [ChattyNode(i) for i in range(3)]
+        engine = SyncEngine(path_adjacency(3), nodes, tracer=tracer)
+        engine.run()
+        assert tracer.num_rounds() == engine.stats.rounds
+        assert tracer.total_delivered() == engine.stats.messages  # lossless
+
+    def test_state_snapshots_evolve(self):
+        tracer = Tracer(state_fn=lambda n: n.mood)
+        nodes = [ChattyNode(i) for i in range(4)]
+        SyncEngine(path_adjacency(4), nodes, tracer=tracer).run()
+        # the rumor crosses one hop per round
+        assert tracer.rounds[0].states == "bbaa"
+        assert tracer.rounds[1].states == "bbba"
+        assert tracer.rounds[-1].states == "bbbb"
+
+    def test_state_history_per_node(self):
+        tracer = Tracer(state_fn=lambda n: n.mood)
+        nodes = [ChattyNode(i) for i in range(3)]
+        SyncEngine(path_adjacency(3), nodes, tracer=tracer).run()
+        history = tracer.state_history(2)
+        assert history[0] == "a" and history[-1] == "b"
+
+    def test_rounds_until(self):
+        tracer = Tracer(state_fn=lambda n: n.mood)
+        nodes = [ChattyNode(i) for i in range(4)]
+        SyncEngine(path_adjacency(4), nodes, tracer=tracer).run()
+        assert tracer.rounds_until(lambda s: s == "bbbb") == 2
+        assert tracer.rounds_until(lambda s: s == "zzzz") is None
+
+    def test_default_state_fn(self):
+        tracer = Tracer()
+        nodes = [ChattyNode(i) for i in range(2)]
+        SyncEngine(path_adjacency(2), nodes, tracer=tracer).run()
+        assert set(tracer.rounds[0].states) == {"."}
+
+    def test_render(self):
+        tracer = Tracer(state_fn=lambda n: n.mood)
+        nodes = [ChattyNode(i) for i in range(4)]
+        SyncEngine(path_adjacency(4), nodes, tracer=tracer).run()
+        text = tracer.render()
+        assert "round | sent | recv" in text
+        assert "bbaa" in text
+
+    def test_render_truncation(self):
+        tracer = Tracer()
+        for i in range(100):
+            tracer.record_round(i, [], [], [])
+        assert "more rounds" in tracer.render(max_rounds=10)
+
+    def test_empty_render(self):
+        assert "(no rounds recorded)" in Tracer().render()
+
+
+class TestAlgorithm3Trace:
+    def test_wave_structure_visible(self):
+        """The trace shows the white→coloured progression: all-White during
+        gathering, fully coloured at the end, monotone non-White growth."""
+        system = make_random_system(14, 120, 40, 10, 5, seed=2)
+        tracer = Tracer(state_fn=lambda n: n.state[0])
+        outcome = run_distributed_protocol(system, rho=1.3, c=2, tracer=tracer)
+        assert outcome.uncolored == ()
+        first = tracer.rounds[0].states
+        last = tracer.rounds[-1].states
+        assert set(first) == {"w"}
+        assert "w" not in last
+        colored_counts = [
+            sum(ch != "w" for ch in r.states) for r in tracer.rounds
+        ]
+        assert all(a <= b for a, b in zip(colored_counts, colored_counts[1:]))
+        # coloring happened no earlier than the gather phase allows
+        first_colored = tracer.rounds_until(lambda s: "w" not in s)
+        assert first_colored >= 2 * 2 + 2

@@ -1,0 +1,161 @@
+"""Tests for reader mobility and the dynamic simulation loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_solver
+from repro.dynamics import (
+    RandomWaypoint,
+    StaticPositions,
+    run_dynamic_simulation,
+)
+from repro.util.rng import as_rng
+
+
+class TestStaticPositions:
+    def test_identity(self):
+        pos = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = StaticPositions().step(pos, as_rng(0))
+        np.testing.assert_array_equal(out, pos)
+        assert out is not pos  # defensive copy
+
+
+class TestRandomWaypoint:
+    def test_speed_bounds_respected(self):
+        model = RandomWaypoint(side=100, speed_range=(2.0, 5.0))
+        rng = as_rng(0)
+        pos = rng.uniform(0, 100, size=(20, 2))
+        nxt = model.step(pos, rng)
+        moved = np.hypot(*(nxt - pos).T)
+        assert (moved <= 5.0 + 1e-9).all()
+
+    def test_stays_in_region(self):
+        model = RandomWaypoint(side=30, speed_range=(1.0, 10.0))
+        rng = as_rng(1)
+        pos = rng.uniform(0, 30, size=(10, 2))
+        for _ in range(50):
+            pos = model.step(pos, rng)
+            assert (pos >= 0).all() and (pos <= 30).all()
+
+    def test_eventually_everyone_moves(self):
+        model = RandomWaypoint(side=50, speed_range=(1.0, 3.0))
+        rng = as_rng(2)
+        start = rng.uniform(0, 50, size=(8, 2))
+        pos = start.copy()
+        for _ in range(20):
+            pos = model.step(pos, rng)
+        assert (np.hypot(*(pos - start).T) > 0).all()
+
+    def test_arrival_redraws_target(self):
+        model = RandomWaypoint(side=100, speed_range=(50.0, 50.0))
+        rng = as_rng(3)
+        pos = np.array([[50.0, 50.0]])
+        seen = {tuple(np.round(pos[0], 3))}
+        for _ in range(10):
+            pos = model.step(pos, rng)
+            seen.add(tuple(np.round(pos[0], 3)))
+        assert len(seen) > 5  # keeps wandering after arrivals
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(side=0)
+        with pytest.raises(ValueError):
+            RandomWaypoint(side=10, speed_range=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            RandomWaypoint(side=10, speed_range=(3.0, 1.0))
+
+
+class TestDynamicSimulation:
+    @pytest.fixture
+    def setup(self):
+        rng = as_rng(7)
+        n = 10
+        return dict(
+            reader_positions=rng.uniform(0, 60, size=(n, 2)),
+            interference_radii=np.full(n, 9.0),
+            interrogation_radii=np.full(n, 6.0),
+            tag_positions=rng.uniform(0, 60, size=(150, 2)),
+            side=60.0,
+        )
+
+    def test_static_mobility_matches_epoch_count(self, setup):
+        result = run_dynamic_simulation(
+            **setup,
+            solver=get_solver("centralized", rho=1.2),
+            mobility=StaticPositions(),
+            num_epochs=5,
+            seed=0,
+        )
+        assert len(result.epochs) == 5
+        assert result.total_served == sum(result.served_per_epoch())
+        assert result.throughput == result.total_served / 5
+
+    def test_unread_monotone_without_arrivals(self, setup):
+        result = run_dynamic_simulation(
+            **setup,
+            solver=get_solver("centralized", rho=1.2),
+            mobility=RandomWaypoint(side=60),
+            num_epochs=8,
+            seed=1,
+        )
+        unread = [e.unread_after for e in result.epochs]
+        assert all(a >= b for a, b in zip(unread, unread[1:]))
+        assert result.final_unread == unread[-1]
+
+    def test_arrivals_feed_population(self, setup):
+        result = run_dynamic_simulation(
+            **setup,
+            solver=get_solver("centralized", rho=1.2),
+            mobility=RandomWaypoint(side=60),
+            num_epochs=10,
+            arrival_rate=5.0,
+            seed=2,
+        )
+        assert sum(e.arrivals for e in result.epochs) > 0
+
+    def test_mobility_reaches_stranded_tags(self, setup):
+        """Moving readers should eventually serve tags a static layout
+        never covers."""
+        static = run_dynamic_simulation(
+            **setup,
+            solver=get_solver("centralized", rho=1.2),
+            mobility=StaticPositions(),
+            num_epochs=25,
+            seed=3,
+        )
+        mobile = run_dynamic_simulation(
+            **setup,
+            solver=get_solver("centralized", rho=1.2),
+            mobility=RandomWaypoint(side=60, speed_range=(3.0, 8.0)),
+            num_epochs=25,
+            seed=3,
+        )
+        assert mobile.total_served > static.total_served
+
+    def test_deterministic(self, setup):
+        kwargs = dict(
+            **setup,
+            solver=get_solver("centralized", rho=1.2),
+            num_epochs=6,
+            seed=9,
+        )
+        a = run_dynamic_simulation(mobility=RandomWaypoint(side=60), **kwargs)
+        b = run_dynamic_simulation(mobility=RandomWaypoint(side=60), **kwargs)
+        assert a.served_per_epoch() == b.served_per_epoch()
+
+    def test_validation(self, setup):
+        with pytest.raises(ValueError):
+            run_dynamic_simulation(
+                **setup,
+                solver=get_solver("ghc"),
+                mobility=StaticPositions(),
+                num_epochs=0,
+            )
+        with pytest.raises(ValueError):
+            run_dynamic_simulation(
+                **setup,
+                solver=get_solver("ghc"),
+                mobility=StaticPositions(),
+                num_epochs=1,
+                arrival_rate=-1,
+            )

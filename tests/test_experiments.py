@@ -1,0 +1,168 @@
+"""Tests for the experiment harness: metrics, sweeps, reporting, figures."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    FIGURE_DEFAULTS,
+    FigureSpec,
+    SeriesStats,
+    aggregate,
+    format_series_table,
+    run_figure,
+    run_sweep,
+)
+from repro.experiments.reporting import format_comparison
+
+
+class TestAggregate:
+    def test_single_value(self):
+        s = aggregate([5.0])
+        assert s.mean == 5.0 and s.std == 0.0 and s.ci95 == 0.0
+        assert s.n == 1
+
+    def test_known_statistics(self):
+        s = aggregate([1.0, 3.0])
+        assert s.mean == 2.0
+        assert s.std == pytest.approx(np.std([1, 3], ddof=1))
+        assert s.minimum == 1.0 and s.maximum == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_str_format(self):
+        assert "±" in str(aggregate([1.0, 2.0]))
+
+
+class TestRunSweep:
+    def test_grid_and_aggregation(self):
+        calls = []
+
+        def measure(value, seed):
+            calls.append((value, seed))
+            return {"a": value * 10 + seed, "b": -value}
+
+        result = run_sweep("p", [1.0, 2.0], measure, seeds=[0, 1])
+        assert len(calls) == 4
+        assert result.metrics == ["a", "b"]
+        assert result.stats[("a", 1.0)].mean == pytest.approx(10.5)
+        assert result.means("b") == [-1.0, -2.0]
+        assert [s.n for s in result.series("a")] == [2, 2]
+
+    def test_inconsistent_metrics_rejected(self):
+        def measure(value, seed):
+            return {"a": 1} if value < 2 else {"b": 1}
+
+        with pytest.raises(ValueError, match="inconsistent"):
+            run_sweep("p", [1, 2], measure, seeds=[0])
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep("p", [], lambda v, s: {"a": 1}, seeds=[0])
+        with pytest.raises(ValueError):
+            run_sweep("p", [1], lambda v, s: {"a": 1}, seeds=[])
+
+
+class TestReporting:
+    @pytest.fixture
+    def sweep(self):
+        return run_sweep(
+            "x", [1.0, 2.0], lambda v, s: {"m1": v, "m2": 2 * v}, seeds=[0, 1]
+        )
+
+    def test_table_contains_all_cells(self, sweep):
+        table = format_series_table(sweep, title="T")
+        assert "T" in table
+        assert "m1" in table and "m2" in table
+        assert "1.00±0.00" in table
+
+    def test_metric_selection(self, sweep):
+        table = format_series_table(sweep, metrics=["m2"])
+        assert "m2" in table and "m1" not in table.split("\n")[0]
+
+    def test_comparison_ratios(self, sweep):
+        text = format_comparison(sweep, baseline_metric="m1")
+        assert "m2 / m1" in text
+        assert "2.00" in text
+
+
+class TestFigureSpecs:
+    def test_all_four_figures_defined(self):
+        assert set(FIGURE_DEFAULTS) == {"fig6", "fig7", "fig8", "fig9"}
+
+    def test_specs_consistent(self):
+        for spec in FIGURE_DEFAULTS.values():
+            assert spec.metric in ("mcs_size", "oneshot_weight")
+            assert spec.sweep_param in ("lambda_R", "lambda_r")
+            assert len(spec.sweep_values) >= 3
+            # scenario materialises at every sweep point
+            scenario = spec.scenario_at(spec.sweep_values[0], seed=0)
+            assert scenario.num_readers == 50
+
+    def test_missing_fixed_param_rejected(self):
+        spec = FigureSpec(
+            figure_id="x",
+            title="x",
+            metric="mcs_size",
+            sweep_param="lambda_R",
+            sweep_values=(1.0,),
+        )
+        with pytest.raises(ValueError, match="fixed parameter"):
+            spec.scenario_at(1.0, 0)
+
+    def test_unknown_metric_rejected(self):
+        spec = FigureSpec(
+            figure_id="x",
+            title="x",
+            metric="nope",
+            sweep_param="lambda_R",
+            sweep_values=(1.0,),
+            fixed_lambda_r=5.0,
+        )
+        with pytest.raises(ValueError, match="unknown metric"):
+            run_figure(spec, seeds=[0])
+
+
+class TestMiniFigureRun:
+    """A shrunken figure run exercises the full measurement path end to end
+    (one seed, two sweep points, small systems, fast algorithms)."""
+
+    def test_oneshot_figure(self):
+        spec = FigureSpec(
+            figure_id="mini8",
+            title="mini",
+            metric="oneshot_weight",
+            sweep_param="lambda_r",
+            sweep_values=(3.0, 6.0),
+            fixed_lambda_R=10.0,
+            algorithms=("centralized", "ghc", "random"),
+            num_readers=15,
+            num_tags=200,
+            side=60.0,
+        )
+        result = run_figure(spec, seeds=[0])
+        assert set(result.metrics) == {"centralized", "ghc", "random"}
+        # more interrogation range, more served tags
+        assert result.means("centralized")[1] > result.means("centralized")[0]
+
+    def test_mcs_figure(self):
+        spec = FigureSpec(
+            figure_id="mini6",
+            title="mini",
+            metric="mcs_size",
+            sweep_param="lambda_R",
+            sweep_values=(8.0, 12.0),
+            fixed_lambda_r=5.0,
+            algorithms=("centralized", "colorwave"),
+            num_readers=15,
+            num_tags=200,
+            side=60.0,
+        )
+        result = run_figure(spec, seeds=[0])
+        for value in spec.sweep_values:
+            assert result.stats[("centralized", value)].mean >= 1
+            assert (
+                result.stats[("colorwave", value)].mean
+                >= result.stats[("centralized", value)].mean
+            )

@@ -1,0 +1,119 @@
+"""Tests for sweep regression comparison."""
+
+import math
+
+import pytest
+
+from repro.experiments.regression import (
+    Deviation,
+    compare_sweeps,
+    format_deviations,
+    welch_t,
+)
+from repro.experiments.sweep import run_sweep
+
+
+def make_sweep(offset=0.0, noise=0):
+    def measure(value, seed):
+        return {"m": value * 10 + seed * noise + offset}
+
+    return run_sweep("p", [1.0, 2.0], measure, seeds=[0, 1, 2, 3])
+
+
+class TestWelchT:
+    def test_identical_samples_zero(self):
+        assert welch_t([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_separated_samples_large(self):
+        t = welch_t([10.0, 10.1, 9.9], [0.0, 0.1, -0.1])
+        assert t > 50
+
+    def test_sign_follows_direction(self):
+        assert welch_t([5, 5.1], [1, 1.1]) > 0
+        assert welch_t([1, 1.1], [5, 5.1]) < 0
+
+    def test_degenerate_equal_means(self):
+        assert welch_t([3.0], [3.0]) == 0.0
+
+    def test_degenerate_distinct_means_inf(self):
+        assert welch_t([3.0], [4.0]) == math.inf
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            welch_t([], [1.0])
+
+
+class TestCompareSweeps:
+    def test_no_change_no_deviations(self):
+        base = make_sweep(noise=1)
+        curr = make_sweep(noise=1)
+        assert compare_sweeps(base, curr) == []
+
+    def test_shift_detected(self):
+        base = make_sweep(noise=1)
+        curr = make_sweep(noise=1, offset=5.0)
+        devs = compare_sweeps(base, curr)
+        assert len(devs) == 2  # both sweep points moved
+        for d in devs:
+            assert d.current_mean > d.baseline_mean
+            assert d.relative_change > 0
+
+    def test_practical_threshold_filters_tiny_shifts(self):
+        base = make_sweep(noise=0)  # zero variance -> any shift has t=inf
+        curr = make_sweep(noise=0, offset=0.1)  # 1% at value=1, 0.5% at 2
+        devs = compare_sweeps(base, curr, min_relative=0.05)
+        assert devs == []
+
+    def test_incompatible_sweeps_rejected(self):
+        base = make_sweep()
+
+        other_param = run_sweep("q", [1.0, 2.0], lambda v, s: {"m": v}, seeds=[0])
+        with pytest.raises(ValueError, match="parameter mismatch"):
+            compare_sweeps(base, other_param)
+
+        other_grid = run_sweep("p", [1.0], lambda v, s: {"m": v}, seeds=[0])
+        with pytest.raises(ValueError, match="grids"):
+            compare_sweeps(base, other_grid)
+
+        other_metric = run_sweep("p", [1.0, 2.0], lambda v, s: {"x": v}, seeds=[0])
+        with pytest.raises(ValueError, match="metric sets"):
+            compare_sweeps(base, other_metric)
+
+    def test_sorted_by_significance(self):
+        base = make_sweep(noise=1)
+        curr = run_sweep(
+            "p",
+            [1.0, 2.0],
+            lambda v, s: {"m": v * 10 + s + (100.0 if v == 2.0 else 3.0)},
+            seeds=[0, 1, 2, 3],
+        )
+        devs = compare_sweeps(base, curr)
+        assert abs(devs[0].t_statistic) >= abs(devs[-1].t_statistic)
+        assert devs[0].param_value == 2.0
+
+    def test_round_trip_through_io(self, tmp_path):
+        from repro.io import load_sweep, save_sweep
+
+        base = make_sweep(noise=1)
+        path = tmp_path / "base.json"
+        save_sweep(base, path)
+        curr = make_sweep(noise=1, offset=8.0)
+        devs = compare_sweeps(load_sweep(path), curr)
+        assert devs
+
+
+class TestFormatDeviations:
+    def test_empty(self):
+        assert "no significant deviations" in format_deviations([])
+
+    def test_rows(self):
+        dev = Deviation(
+            metric="ptas",
+            param_value=8.0,
+            baseline_mean=100.0,
+            current_mean=150.0,
+            t_statistic=12.0,
+        )
+        text = format_deviations([dev])
+        assert "ptas @ 8" in text
+        assert "+50.0%" in text

@@ -1,0 +1,78 @@
+"""Tests for the reproduction report generator (shrunken figure specs)."""
+
+import pytest
+
+from repro.experiments.figures import FigureSpec
+from repro.experiments.report import generate_report
+
+MINI_FIGURES = {
+    "mini8": FigureSpec(
+        figure_id="mini8",
+        title="mini oneshot vs lambda_r",
+        metric="oneshot_weight",
+        sweep_param="lambda_r",
+        sweep_values=(3.0, 6.0),
+        fixed_lambda_R=10.0,
+        algorithms=("ptas", "colorwave", "ghc"),
+        num_readers=12,
+        num_tags=150,
+        side=50.0,
+    ),
+    "mini6": FigureSpec(
+        figure_id="mini6",
+        title="mini mcs vs lambda_r",
+        metric="mcs_size",
+        sweep_param="lambda_r",
+        sweep_values=(3.0, 6.0),
+        fixed_lambda_R=10.0,
+        algorithms=("ptas", "colorwave"),
+        num_readers=12,
+        num_tags=150,
+        side=50.0,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(seeds=(0,), figures=MINI_FIGURES, title="Mini report")
+
+
+class TestGenerateReport:
+    def test_title_and_sections(self, report_text):
+        assert report_text.startswith("# Mini report")
+        assert "## mini oneshot vs lambda_r" in report_text
+        assert "## mini mcs vs lambda_r" in report_text
+
+    def test_tables_rendered(self, report_text):
+        assert "| lambda_r | " in report_text
+        assert "±" in report_text
+
+    def test_claim_checks_present(self, report_text):
+        assert "Colorwave at every point" in report_text
+        assert "Claim checks:" in report_text
+
+    def test_check_marks(self, report_text):
+        # every rendered check line carries a pass/fail mark
+        for line in report_text.splitlines():
+            if line.startswith("- ") and "runtime" not in line:
+                assert line[2] in "✔✘", line
+
+    def test_config_line(self, report_text):
+        assert "12 readers / 150 tags" in report_text
+
+
+class TestCliReport:
+    def test_writes_file(self, tmp_path, monkeypatch, capsys):
+        import repro.cli as cli
+        import repro.experiments.report as report_mod
+
+        def fake_generate(seeds=(0,)):
+            return "# stub report\n"
+
+        monkeypatch.setattr(report_mod, "generate_report", fake_generate)
+        out = tmp_path / "repro.md"
+        rc = cli.main(["report", "--out", str(out), "--seeds", "0"])
+        assert rc == 0
+        assert out.read_text().startswith("# stub report")
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,122 @@
+"""Tests for repro.geometry.disks — including the paper's Definition 2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.disks import (
+    Disk,
+    disk_contains_points,
+    disk_intersects_rect,
+    disks_independent,
+    independence_matrix,
+    mutual_interference_matrix,
+)
+
+
+class TestDisk:
+    def test_contains_boundary(self):
+        d = Disk(0, 0, 2)
+        assert d.contains((2.0, 0.0))
+        assert not d.contains((2.0001, 0.0))
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Disk(0, 0, -1)
+
+    def test_zero_radius_allowed(self):
+        assert Disk(0, 0, 0).contains((0, 0))
+
+    def test_intersects(self):
+        assert Disk(0, 0, 1).intersects(Disk(1.5, 0, 1))
+        assert not Disk(0, 0, 1).intersects(Disk(3.0, 0, 1))
+
+    def test_independent_from_asymmetric_radii(self):
+        # centers 5 apart; radii 4 and 2: neither center inside the other
+        assert Disk(0, 0, 4).independent_from(Disk(5, 0, 2))
+        # radii 6 and 2: center of the small one is inside the big disk
+        assert not Disk(0, 0, 6).independent_from(Disk(5, 0, 2))
+
+    def test_independence_is_symmetric(self):
+        a, b = Disk(0, 0, 6), Disk(5, 0, 2)
+        assert a.independent_from(b) == b.independent_from(a)
+
+
+class TestDiskContainsPoints:
+    def test_mask(self):
+        pts = np.array([[0.0, 0.0], [3.0, 0.0]])
+        mask = disk_contains_points((0, 0), 1.0, pts)
+        np.testing.assert_array_equal(mask, [True, False])
+
+
+class TestDiskIntersectsRect:
+    def test_center_inside(self):
+        assert disk_intersects_rect((1, 1), 0.1, 0, 2, 0, 2)
+
+    def test_overlapping_edge(self):
+        assert disk_intersects_rect((-0.5, 1), 0.6, 0, 2, 0, 2)
+
+    def test_corner_touch(self):
+        r = np.sqrt(2) / 2 + 1e-9
+        assert disk_intersects_rect((-0.5, -0.5), r, 0, 2, 0, 2)
+
+    def test_disjoint(self):
+        assert not disk_intersects_rect((-1, -1), 0.5, 0, 2, 0, 2)
+
+
+class TestInterferenceMatrices:
+    def test_directed_containment(self):
+        # reader 0 has a big disk covering reader 1; reader 1's disk is small
+        centers = np.array([[0.0, 0.0], [3.0, 0.0]])
+        radii = np.array([5.0, 1.0])
+        m = mutual_interference_matrix(centers, radii)
+        assert m[0, 1] == False  # reader 0 at distance 3 > R_1=1: not inside 1's disk
+        assert m[1, 0] == True   # reader 1 inside 0's disk
+        assert not m[0, 0] and not m[1, 1]
+
+    def test_independence_requires_max_radius(self):
+        # Definition 2: independent iff distance > max(R_i, R_j)
+        centers = np.array([[0.0, 0.0], [3.0, 0.0]])
+        radii = np.array([5.0, 1.0])
+        ind = independence_matrix(centers, radii)
+        assert ind[0, 1] == False and ind[1, 0] == False
+
+    def test_independent_pair(self):
+        centers = np.array([[0.0, 0.0], [11.0, 0.0]])
+        radii = np.array([5.0, 10.0])
+        ind = independence_matrix(centers, radii)
+        assert ind[0, 1] and ind[1, 0]
+
+    def test_boundary_is_interfering(self):
+        # distance exactly equal to radius → inside (closed disk) → conflict
+        centers = np.array([[0.0, 0.0], [5.0, 0.0]])
+        radii = np.array([5.0, 5.0])
+        assert not independence_matrix(centers, radii)[0, 1]
+
+    def test_radii_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mutual_interference_matrix(np.zeros((2, 2)), np.array([1.0]))
+
+    def test_disks_independent_helper(self):
+        centers = np.array([[0.0, 0.0], [11.0, 0.0]])
+        radii = np.array([5.0, 10.0])
+        assert disks_independent(centers, radii, 0, 1)
+
+    @given(
+        n=st.integers(2, 8),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matrices_consistent(self, n, seed):
+        rng = np.random.default_rng(seed)
+        centers = rng.uniform(0, 20, size=(n, 2))
+        radii = rng.uniform(0.5, 8, size=n)
+        m = mutual_interference_matrix(centers, radii)
+        ind = independence_matrix(centers, radii)
+        # independence == no containment either way (off-diagonal)
+        expect = ~(m | m.T)
+        np.fill_diagonal(expect, False)
+        np.testing.assert_array_equal(ind, expect)
+        # independence matrix is symmetric
+        np.testing.assert_array_equal(ind, ind.T)

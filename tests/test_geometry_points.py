@@ -1,0 +1,107 @@
+"""Tests for repro.geometry.points."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.points import (
+    as_points,
+    distances_to,
+    pairwise_distances,
+    pairwise_sq_distances,
+    points_in_radius,
+)
+
+
+class TestAsPoints:
+    def test_list_coerced(self):
+        out = as_points([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_single_point_promoted(self):
+        assert as_points([1.0, 2.0]).shape == (1, 2)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            as_points(np.zeros((3, 3)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            as_points(np.array([[np.nan, 0.0]]))
+
+
+class TestPairwiseDistances:
+    def test_known_values(self):
+        a = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = pairwise_distances(a, a)
+        np.testing.assert_allclose(d, [[0.0, 5.0], [5.0, 0.0]])
+
+    def test_rectangular(self):
+        a = np.zeros((2, 2))
+        b = np.array([[1.0, 0.0], [0.0, 2.0], [3.0, 4.0]])
+        assert pairwise_distances(a, b).shape == (2, 3)
+
+    def test_non_negative_despite_roundoff(self):
+        # nearly identical large coordinates provoke catastrophic cancellation
+        a = np.array([[1e8, 1e8], [1e8 + 1e-4, 1e8]])
+        sq = pairwise_sq_distances(a, a)
+        assert (sq >= 0).all()
+
+    @given(
+        pts=st.lists(
+            st.tuples(
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(-100, 100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive(self, pts):
+        arr = np.array(pts, dtype=float)
+        fast = pairwise_distances(arr, arr)
+        naive = np.array(
+            [[np.hypot(*(p - q)) for q in arr] for p in arr]
+        )
+        # the |a|²+|b|²−2a·b expansion loses ~|x|·sqrt(eps) of absolute
+        # accuracy near zero distance; 1e-5 over coordinates ≤ 100 is the
+        # documented precision envelope.
+        np.testing.assert_allclose(fast, naive, atol=1e-5)
+
+    @given(
+        pts=st.lists(
+            st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry_and_zero_diagonal(self, pts):
+        arr = np.array(pts, dtype=float)
+        d = pairwise_distances(arr, arr)
+        np.testing.assert_allclose(d, d.T, atol=1e-9)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-5)
+
+
+class TestDistancesTo:
+    def test_values(self):
+        pts = np.array([[0.0, 0.0], [0.0, 3.0]])
+        np.testing.assert_allclose(distances_to(pts, [0.0, -1.0]), [1.0, 4.0])
+
+
+class TestPointsInRadius:
+    def test_inclusive_boundary(self):
+        pts = np.array([[1.0, 0.0], [2.0, 0.0]])
+        hits = points_in_radius(pts, [0.0, 0.0], 1.0)
+        np.testing.assert_array_equal(hits, [0])
+
+    def test_zero_radius_matches_coincident(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        np.testing.assert_array_equal(points_in_radius(pts, [0.0, 0.0], 0.0), [0])
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            points_in_radius(np.zeros((1, 2)), [0, 0], -1.0)

@@ -1,0 +1,90 @@
+"""Golden regression tests.
+
+Pinned expected outputs for fixed seeds — not correctness oracles, but
+tripwires: if any of these change, a behavioural change slipped into the
+pipeline (sampling order, tie-breaking, algorithm internals) and EXPERIMENTS
+numbers are stale.  Update deliberately, never casually.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import colorwave_oneshot, greedy_hill_climbing
+from repro.core import (
+    centralized_location_free,
+    distributed_mwfs,
+    exact_mwfs,
+    get_solver,
+    greedy_covering_schedule,
+    ptas_mwfs,
+)
+from repro.deployment import Scenario
+
+GOLDEN_SCENARIO = Scenario(
+    num_readers=20,
+    num_tags=300,
+    side=60.0,
+    lambda_interference=10,
+    lambda_interrogation=5,
+    seed=12345,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return GOLDEN_SCENARIO.build()
+
+
+class TestDeploymentGolden:
+    def test_first_reader_position(self, system):
+        np.testing.assert_allclose(
+            system.reader_positions[0], [13.64016135, 19.00550038], rtol=1e-6
+        )
+
+    def test_radii_sums(self, system):
+        assert system.interference_radii.sum() == pytest.approx(183.0)
+        assert system.interrogation_radii.sum() == pytest.approx(101.0)
+
+    def test_structure_counts(self, system):
+        assert int(np.triu(system.conflict, 1).sum()) == 14
+        assert int(system.covered_by_any().sum()) == 143
+        assert int(system.coverage.sum()) == 176
+
+
+class TestSolverGolden:
+    def test_exact(self, system):
+        result = exact_mwfs(system)
+        assert result.weight == 103
+        assert result.active.tolist() == [0, 1, 4, 6, 7, 8, 11, 12, 13, 14, 19]
+
+    def test_ptas(self, system):
+        result = ptas_mwfs(system, k=3)
+        assert result.weight == 103
+
+    def test_centralized(self, system):
+        result = centralized_location_free(system, rho=1.1)
+        assert result.weight == 103
+
+    def test_distributed(self, system):
+        result = distributed_mwfs(system, rho=1.3, c=3)
+        assert result.weight == 103
+        assert result.meta["rounds"] == 20
+        assert result.meta["messages"] == 218
+
+    def test_ghc(self, system):
+        assert greedy_hill_climbing(system).weight == 100
+
+    def test_ghc_naive(self, system):
+        assert greedy_hill_climbing(system, gain_mode="coverage").weight == 44
+
+    def test_colorwave(self, system):
+        result = colorwave_oneshot(system, seed=0)
+        assert result.weight == 68
+
+
+class TestScheduleGolden:
+    def test_exact_greedy_schedule(self, system):
+        schedule = greedy_covering_schedule(system, get_solver("exact"), seed=0)
+        assert schedule.size == 3
+        assert schedule.reads_per_slot() == [103, 30, 10]
+        assert schedule.complete

@@ -1,0 +1,118 @@
+"""Tests for JSON persistence round trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.deployment import Scenario
+from repro.experiments.sweep import run_sweep
+from repro.io import (
+    load_scenario,
+    load_sweep,
+    load_system,
+    save_scenario,
+    save_sweep,
+    save_system,
+    scenario_from_dict,
+    scenario_to_dict,
+    sweep_from_dict,
+    sweep_to_dict,
+    system_from_dict,
+    system_to_dict,
+)
+from tests.conftest import make_random_system
+
+
+class TestSystemRoundTrip:
+    def test_arrays_identical(self, small_system):
+        clone = system_from_dict(system_to_dict(small_system))
+        np.testing.assert_array_equal(
+            clone.reader_positions, small_system.reader_positions
+        )
+        np.testing.assert_array_equal(
+            clone.interference_radii, small_system.interference_radii
+        )
+        np.testing.assert_array_equal(clone.tag_positions, small_system.tag_positions)
+
+    def test_derived_matrices_identical(self, small_system):
+        clone = system_from_dict(system_to_dict(small_system))
+        np.testing.assert_array_equal(clone.coverage, small_system.coverage)
+        np.testing.assert_array_equal(clone.conflict, small_system.conflict)
+
+    def test_file_round_trip(self, small_system, tmp_path):
+        path = tmp_path / "system.json"
+        save_system(small_system, path)
+        clone = load_system(path)
+        assert clone.num_readers == small_system.num_readers
+        assert clone.num_tags == small_system.num_tags
+
+    def test_empty_system(self, tmp_path):
+        from repro.model import RFIDSystem
+
+        path = tmp_path / "empty.json"
+        save_system(RFIDSystem([], []), path)
+        clone = load_system(path)
+        assert clone.num_readers == 0 and clone.num_tags == 0
+
+    def test_format_checked(self):
+        with pytest.raises(ValueError, match="expected format"):
+            system_from_dict({"format": "other", "version": 1})
+
+    def test_version_checked(self, small_system):
+        data = system_to_dict(small_system)
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            system_from_dict(data)
+
+    def test_json_serialisable(self, small_system):
+        json.dumps(system_to_dict(small_system))  # must not raise
+
+
+class TestScenarioRoundTrip:
+    def test_round_trip(self, tmp_path):
+        scenario = Scenario(
+            num_readers=17, num_tags=300, side=70, lambda_interference=9,
+            lambda_interrogation=4, seed=11,
+        )
+        path = tmp_path / "scenario.json"
+        save_scenario(scenario, path)
+        assert load_scenario(path) == scenario
+
+    def test_rebuild_identical_system(self, tmp_path):
+        scenario = Scenario(seed=2)
+        clone = scenario_from_dict(scenario_to_dict(scenario))
+        a = scenario.build()
+        b = clone.build()
+        np.testing.assert_array_equal(a.reader_positions, b.reader_positions)
+
+    def test_format_checked(self):
+        with pytest.raises(ValueError):
+            scenario_from_dict({"format": "repro.system", "version": 1})
+
+
+class TestSweepRoundTrip:
+    @pytest.fixture
+    def sweep(self):
+        return run_sweep(
+            "x", [1.0, 2.0], lambda v, s: {"m": v * 10 + s}, seeds=[0, 1, 2]
+        )
+
+    def test_round_trip_preserves_stats(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        clone = load_sweep(path)
+        assert clone.param_name == sweep.param_name
+        assert clone.param_values == sweep.param_values
+        assert clone.metrics == sweep.metrics
+        for key, stats in sweep.stats.items():
+            assert clone.stats[key].mean == stats.mean
+            assert clone.stats[key].ci95 == stats.ci95
+
+    def test_raw_samples_preserved(self, sweep):
+        clone = sweep_from_dict(sweep_to_dict(sweep))
+        assert clone.raw == sweep.raw
+
+    def test_format_checked(self):
+        with pytest.raises(ValueError):
+            sweep_from_dict({"format": "nope", "version": 1})

@@ -1,0 +1,145 @@
+"""Tests for framed-slotted ALOHA arbitration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linklayer import FramedAlohaReader
+
+
+class TestConfigValidation:
+    def test_q_ordering(self):
+        with pytest.raises(ValueError):
+            FramedAlohaReader(q_initial=2, q_min=3)
+        with pytest.raises(ValueError):
+            FramedAlohaReader(q_initial=16, q_max=15)
+
+    def test_adaptation_constants(self):
+        with pytest.raises(ValueError):
+            FramedAlohaReader(c_collision=0)
+        with pytest.raises(ValueError):
+            FramedAlohaReader(c_idle=-1)
+
+    def test_max_frames(self):
+        with pytest.raises(ValueError):
+            FramedAlohaReader(max_frames=0)
+
+    def test_policy(self):
+        with pytest.raises(ValueError):
+            FramedAlohaReader(policy="bogus")
+
+
+class TestInventory:
+    def test_zero_tags(self):
+        stats = FramedAlohaReader().inventory(0, seed=0)
+        assert stats.tags_identified == 0
+        assert stats.frames == 0
+        assert stats.micro_slots == 0
+        assert stats.efficiency == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FramedAlohaReader().inventory(-1)
+
+    def test_single_tag(self):
+        stats = FramedAlohaReader().inventory(1, seed=0)
+        assert stats.tags_identified == 1
+        assert stats.successes == 1
+        assert stats.collisions == 0
+
+    def test_all_identified(self):
+        for n in (1, 5, 40, 200):
+            stats = FramedAlohaReader().inventory(n, seed=3)
+            assert stats.tags_identified == n, n
+
+    def test_accounting_consistent(self):
+        stats = FramedAlohaReader().inventory(50, seed=1)
+        assert stats.successes == stats.tags_identified
+        assert stats.micro_slots == sum(stats.frame_sizes)
+        assert stats.frames == len(stats.frame_sizes)
+        assert stats.successes + stats.collisions + stats.idles == stats.micro_slots
+
+    def test_deterministic_given_seed(self):
+        a = FramedAlohaReader().inventory(64, seed=9)
+        b = FramedAlohaReader().inventory(64, seed=9)
+        assert a == b
+
+    def test_frame_sizes_power_of_two(self):
+        stats = FramedAlohaReader().inventory(100, seed=2)
+        for f in stats.frame_sizes:
+            assert f & (f - 1) == 0
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_schoute_efficiency_near_optimum(self, n):
+        effs = [
+            FramedAlohaReader().inventory(n, seed=s).efficiency for s in range(8)
+        ]
+        mean = np.mean(effs)
+        # classical framed-ALOHA optimum is 1/e ≈ 0.368; Schoute tracking
+        # should land in a broad band around it
+        assert 0.25 < mean < 0.45, mean
+
+    def test_q_policy_still_terminates(self):
+        stats = FramedAlohaReader(policy="q").inventory(128, seed=0)
+        assert stats.tags_identified == 128
+
+    def test_max_frames_cap(self):
+        # starved configuration: frame pinned to size 1 → mostly collisions
+        reader = FramedAlohaReader(
+            q_initial=0, q_min=0, q_max=0, max_frames=5, policy="q"
+        )
+        stats = reader.inventory(10, seed=0)
+        assert stats.frames == 5
+        assert stats.tags_identified < 10
+
+    @given(n=st.integers(0, 300), seed=st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants(self, n, seed):
+        stats = FramedAlohaReader().inventory(n, seed=seed)
+        assert 0 <= stats.tags_identified <= n
+        assert stats.successes == stats.tags_identified
+        assert stats.micro_slots >= stats.tags_identified
+        assert 0.0 <= stats.efficiency <= 1.0
+
+
+class TestCaptureEffect:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FramedAlohaReader(capture_probability=1.5)
+        with pytest.raises(ValueError):
+            FramedAlohaReader(capture_probability=-0.1)
+
+    def test_zero_capture_is_default_model(self):
+        a = FramedAlohaReader().inventory(64, seed=5)
+        b = FramedAlohaReader(capture_probability=0.0).inventory(64, seed=5)
+        assert a == b
+
+    def test_capture_improves_efficiency(self):
+        n = 128
+        base = np.mean(
+            [FramedAlohaReader().inventory(n, seed=s).efficiency for s in range(10)]
+        )
+        captured = np.mean(
+            [
+                FramedAlohaReader(capture_probability=0.5)
+                .inventory(n, seed=s)
+                .efficiency
+                for s in range(10)
+            ]
+        )
+        assert captured > base
+
+    def test_full_capture_every_busy_slot_succeeds(self):
+        stats = FramedAlohaReader(capture_probability=1.0).inventory(50, seed=0)
+        assert stats.collisions == 0
+        assert stats.tags_identified == 50
+
+    def test_all_tags_still_identified(self):
+        for p in (0.25, 0.75):
+            stats = FramedAlohaReader(capture_probability=p).inventory(100, seed=1)
+            assert stats.tags_identified == 100
+            assert (
+                stats.successes + stats.collisions + stats.idles
+                == stats.micro_slots
+            )

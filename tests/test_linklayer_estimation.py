@@ -1,0 +1,136 @@
+"""Tests for tag-population estimation (Kodialam–Nandagopal)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linklayer import (
+    ProbeFrame,
+    collision_estimate,
+    estimate_population,
+    probe,
+    zero_estimate,
+)
+
+
+class TestProbeFrame:
+    def test_validation_sum(self):
+        with pytest.raises(ValueError, match="sum"):
+            ProbeFrame(frame_size=4, idles=1, singletons=1, collisions=1)
+
+    def test_validation_negative(self):
+        with pytest.raises(ValueError):
+            ProbeFrame(frame_size=2, idles=-1, singletons=2, collisions=1)
+
+    def test_validation_frame(self):
+        with pytest.raises(ValueError):
+            ProbeFrame(frame_size=0, idles=0, singletons=0, collisions=0)
+
+
+class TestProbe:
+    def test_counts_sum_to_frame(self):
+        frame = probe(37, 16, seed=0)
+        assert frame.idles + frame.singletons + frame.collisions == 16
+
+    def test_zero_tags_all_idle(self):
+        frame = probe(0, 8, seed=0)
+        assert frame.idles == 8
+        assert frame.singletons == 0
+
+    def test_one_tag_one_singleton(self):
+        frame = probe(1, 8, seed=0)
+        assert frame.singletons == 1
+
+    def test_deterministic(self):
+        assert probe(50, 32, seed=7) == probe(50, 32, seed=7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            probe(-1, 8)
+        with pytest.raises(ValueError):
+            probe(5, 0)
+
+
+class TestZeroEstimate:
+    def test_exact_on_expected_idles(self):
+        # if N0 == F e^{-n/F} exactly, ZE returns n exactly
+        F, n = 100, 80
+        n0 = F * math.exp(-n / F)
+        frame = ProbeFrame(
+            frame_size=F,
+            idles=round(n0),
+            singletons=F - round(n0),
+            collisions=0,
+        )
+        est = zero_estimate(frame)
+        assert est == pytest.approx(n, rel=0.05)
+
+    def test_saturated_frame_inf(self):
+        frame = ProbeFrame(frame_size=4, idles=0, singletons=0, collisions=4)
+        assert zero_estimate(frame) == math.inf
+
+    def test_empty_frame_zero(self):
+        frame = ProbeFrame(frame_size=8, idles=8, singletons=0, collisions=0)
+        assert zero_estimate(frame) == 0.0
+
+    def test_statistical_accuracy(self):
+        """Averaged over many probes, ZE lands within ~10% of truth."""
+        n, F = 120, 128
+        ests = [zero_estimate(probe(n, F, seed=s)) for s in range(60)]
+        ests = [e for e in ests if math.isfinite(e)]
+        assert abs(np.mean(ests) - n) / n < 0.10
+
+
+class TestCollisionEstimate:
+    def test_no_collisions(self):
+        frame = ProbeFrame(frame_size=8, idles=7, singletons=1, collisions=0)
+        assert collision_estimate(frame) == 1.0
+
+    def test_all_collisions_inf(self):
+        frame = ProbeFrame(frame_size=4, idles=0, singletons=0, collisions=4)
+        assert collision_estimate(frame) == math.inf
+
+    def test_inverts_forward_model(self):
+        # choose t, compute expected collision fraction, invert
+        F = 1000
+        for t in (0.5, 1.0, 2.0):
+            frac = 1 - (1 + t) * math.exp(-t)
+            c = round(frac * F)
+            frame = ProbeFrame(frame_size=F, idles=F - c, singletons=0, collisions=c)
+            est = collision_estimate(frame)
+            assert est == pytest.approx(t * F, rel=0.02)
+
+    def test_statistical_accuracy(self):
+        n, F = 200, 128
+        ests = [collision_estimate(probe(n, F, seed=s)) for s in range(60)]
+        ests = [e for e in ests if math.isfinite(e)]
+        assert abs(np.mean(ests) - n) / n < 0.15
+
+
+class TestEstimatePopulation:
+    @pytest.mark.parametrize("estimator", ["zero", "collision"])
+    def test_adaptive_scheme_converges(self, estimator):
+        est = estimate_population(500, initial_frame=8, estimator=estimator, seed=0)
+        assert math.isfinite(est)
+        assert abs(est - 500) / 500 < 0.5  # single probe; loose band
+
+    def test_zero_population(self):
+        assert estimate_population(0, seed=0) == 0.0
+
+    def test_bad_estimator(self):
+        with pytest.raises(ValueError):
+            estimate_population(10, estimator="psychic")
+
+    def test_bad_frame(self):
+        with pytest.raises(ValueError):
+            estimate_population(10, initial_frame=0)
+
+    @given(n=st.integers(0, 400), seed=st.integers(0, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_always_finite_and_nonnegative(self, n, seed):
+        est = estimate_population(n, seed=seed)
+        assert math.isfinite(est)
+        assert est >= 0

@@ -1,0 +1,72 @@
+"""Tests for inventory sessions (scheduler slot → link-layer cost)."""
+
+import numpy as np
+import pytest
+
+from repro.linklayer import run_inventory_session
+from tests.conftest import make_random_system
+
+
+@pytest.fixture
+def system():
+    return make_random_system(10, 120, 35, 9, 6, seed=2)
+
+
+class TestSession:
+    def test_counts_well_covered(self, system):
+        from repro.core import exact_mwfs
+
+        result = exact_mwfs(system)
+        inv = run_inventory_session(system, result.active, seed=0)
+        assert inv.tags_read == result.weight
+
+    def test_empty_active(self, system):
+        inv = run_inventory_session(system, [], seed=0)
+        assert inv.tags_read == 0
+        assert inv.duration == 0
+        assert inv.total_work == 0
+
+    def test_owner_attribution(self, system):
+        from repro.core import exact_mwfs
+
+        active = exact_mwfs(system).active
+        inv = run_inventory_session(system, active, seed=0)
+        # every owner must be an active reader; counts sum to tags_read
+        assert set(inv.tags_by_reader) <= set(int(a) for a in active)
+        assert sum(inv.tags_by_reader.values()) == inv.tags_read
+
+    def test_duration_is_max_work_is_sum(self, system):
+        from repro.core import exact_mwfs
+
+        active = exact_mwfs(system).active
+        inv = run_inventory_session(system, active, seed=0)
+        assert inv.duration == max(inv.micro_slots_by_reader.values())
+        assert inv.total_work == sum(inv.micro_slots_by_reader.values())
+        assert inv.duration <= inv.total_work
+
+    def test_treewalk_protocol(self, system):
+        from repro.core import exact_mwfs
+
+        active = exact_mwfs(system).active
+        inv = run_inventory_session(system, active, protocol="treewalk", seed=0)
+        assert inv.tags_read > 0
+        assert all(v >= 1 for v in inv.micro_slots_by_reader.values())
+
+    def test_unknown_protocol(self, system):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            run_inventory_session(system, [0], protocol="tdma", seed=0)
+
+    def test_unread_mask(self, system):
+        unread = np.zeros(system.num_tags, dtype=bool)
+        inv = run_inventory_session(system, [0, 1], unread=unread, seed=0)
+        assert inv.tags_read == 0
+
+    def test_deterministic(self, system):
+        a = run_inventory_session(system, [0, 3, 6], seed=5)
+        b = run_inventory_session(system, [0, 3, 6], seed=5)
+        assert a.micro_slots_by_reader == b.micro_slots_by_reader
+
+    def test_micro_slots_at_least_tags(self, system):
+        inv = run_inventory_session(system, range(system.num_readers), seed=1)
+        for reader, slots in inv.micro_slots_by_reader.items():
+            assert slots >= inv.tags_by_reader[reader]

@@ -1,0 +1,111 @@
+"""Tests for binary tree-walking arbitration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linklayer import TreeWalkReader
+
+
+class TestDrawIds:
+    def test_distinct(self):
+        ids = TreeWalkReader(id_bits=16).draw_ids(200, seed=0)
+        assert len(set(int(x) for x in ids)) == 200
+
+    def test_in_range(self):
+        ids = TreeWalkReader(id_bits=8).draw_ids(100, seed=0)
+        assert all(0 <= int(x) < 256 for x in ids)
+
+    def test_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            TreeWalkReader(id_bits=3).draw_ids(9)
+
+    def test_exact_space(self):
+        ids = TreeWalkReader(id_bits=3).draw_ids(8, seed=0)
+        assert sorted(int(x) for x in ids) == list(range(8))
+
+    def test_zero(self):
+        assert TreeWalkReader().draw_ids(0).size == 0
+
+
+class TestInventory:
+    def test_requires_input(self):
+        with pytest.raises(ValueError):
+            TreeWalkReader().inventory()
+
+    def test_zero_tags(self):
+        stats = TreeWalkReader().inventory(num_tags=0, seed=0)
+        assert stats.tags_identified == 0
+        assert stats.micro_slots == 1  # the initial empty query
+        assert stats.idles == 1
+
+    def test_single_tag(self):
+        stats = TreeWalkReader().inventory(tag_ids=[42])
+        assert stats.tags_identified == 1
+        assert stats.micro_slots == 1
+        assert stats.collisions == 0
+
+    def test_two_sibling_ids(self):
+        # ids differing only in the last bit: collide down the whole trie
+        reader = TreeWalkReader(id_bits=4)
+        stats = reader.inventory(tag_ids=[0b0000, 0b0001])
+        assert stats.tags_identified == 2
+        assert stats.collisions == 4  # root + 3 shared-prefix levels
+        assert stats.max_depth == 4
+
+    def test_two_distant_ids(self):
+        reader = TreeWalkReader(id_bits=4)
+        stats = reader.inventory(tag_ids=[0b0000, 0b1000])
+        assert stats.collisions == 1  # split at the root
+
+    def test_all_identified(self):
+        for n in (1, 7, 64, 300):
+            stats = TreeWalkReader().inventory(num_tags=n, seed=1)
+            assert stats.tags_identified == n
+
+    def test_query_accounting(self):
+        stats = TreeWalkReader().inventory(num_tags=50, seed=2)
+        assert (
+            stats.micro_slots
+            == stats.collisions + stats.idles + stats.tags_identified
+        )
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            TreeWalkReader().inventory(tag_ids=[1, 1])
+
+    def test_out_of_space_ids_rejected(self):
+        with pytest.raises(ValueError):
+            TreeWalkReader(id_bits=4).inventory(tag_ids=[16])
+
+    def test_bad_bits(self):
+        with pytest.raises(ValueError):
+            TreeWalkReader(id_bits=0)
+
+    def test_structural_identity(self):
+        """Internal trie nodes = collisions; binary trie over n ≥ 2 leaves
+        has n−1 branching nodes plus shared-prefix chains."""
+        reader = TreeWalkReader(id_bits=10)
+        stats = reader.inventory(num_tags=40, seed=3)
+        assert stats.collisions >= 40 - 1
+
+    @given(n=st.integers(1, 100), seed=st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants(self, n, seed):
+        stats = TreeWalkReader(id_bits=24).inventory(num_tags=n, seed=seed)
+        assert stats.tags_identified == n
+        assert stats.max_depth <= 24
+        assert stats.collisions >= max(n - 1, 0)
+        assert 0 < stats.efficiency <= 1.0
+
+    @given(
+        ids=st.lists(st.integers(0, 255), min_size=1, max_size=30, unique=True)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_on_explicit_ids(self, ids):
+        reader = TreeWalkReader(id_bits=8)
+        a = reader.inventory(tag_ids=ids)
+        b = reader.inventory(tag_ids=ids)
+        assert a == b
+        assert a.tags_identified == len(ids)

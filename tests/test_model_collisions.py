@@ -1,0 +1,74 @@
+"""Tests for repro.model.collisions."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    classify_collisions,
+    operational_mask,
+    rrc_blocked_tags,
+    rtc_victims,
+)
+
+
+class TestRtcVictims:
+    def test_mutual_pair(self, line_system):
+        np.testing.assert_array_equal(rtc_victims(line_system, [0, 1]), [0, 1])
+
+    def test_independent_pair_clean(self, line_system):
+        assert len(rtc_victims(line_system, [0, 2])) == 0
+
+    def test_empty(self, line_system):
+        assert len(rtc_victims(line_system, [])) == 0
+
+    def test_asymmetric_victim(self):
+        from repro.model import build_system
+
+        # big reader 0 covers reader 1; reader 1's disk does not reach 0:
+        # only reader 1 is a victim.
+        system = build_system(
+            reader_positions=[[0.0, 0.0], [4.0, 0.0]],
+            interference_radii=[6.0, 2.0],
+            interrogation_radii=[3.0, 1.0],
+            tag_positions=[[4.0, 0.5]],
+        )
+        np.testing.assert_array_equal(rtc_victims(system, [0, 1]), [1])
+        # ... and the victim's tag is not well-covered even though it is
+        # covered by exactly one reader.
+        assert system.weight([0, 1]) == 0
+        assert system.weight([1]) == 1
+
+
+class TestOperationalMask:
+    def test_alignment_with_sorted_active(self, line_system):
+        mask = operational_mask(line_system, [2, 0, 1])
+        # sorted active = [0,1,2]; 0 and 1 suffer, 2 operational
+        np.testing.assert_array_equal(mask, [False, False, True])
+
+
+class TestRrcBlockedTags:
+    def test_overlap_blocks(self, figure2_system):
+        blocked = rrc_blocked_tags(figure2_system, [0, 1, 2])
+        np.testing.assert_array_equal(blocked, [1, 2])  # tags 2 and 3
+
+    def test_no_overlap_no_blocks(self, figure2_system):
+        assert len(rrc_blocked_tags(figure2_system, [0, 2])) == 0
+
+    def test_unread_filter(self, figure2_system):
+        unread = np.array([True, False, True, True, True])
+        blocked = rrc_blocked_tags(figure2_system, [0, 1, 2], unread)
+        np.testing.assert_array_equal(blocked, [2])
+
+
+class TestClassifyCollisions:
+    def test_report_consistency(self, figure2_system):
+        report = classify_collisions(figure2_system, [0, 1, 2])
+        assert report.num_rtc == 0
+        assert report.num_rrc == 2
+        assert report.weight == 3
+        np.testing.assert_array_equal(report.active, [0, 1, 2])
+
+    def test_weight_matches_system(self, line_system):
+        for active in ([0], [0, 1], [0, 2], [0, 1, 2]):
+            report = classify_collisions(line_system, active)
+            assert report.weight == line_system.weight(active)

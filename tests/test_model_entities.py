@@ -1,0 +1,59 @@
+"""Tests for Reader and Tag entities."""
+
+import numpy as np
+import pytest
+
+from repro.model import Reader, Tag
+
+
+class TestReader:
+    def test_valid(self):
+        r = Reader(id=0, x=1, y=2, interference_radius=5, interrogation_radius=3)
+        assert r.beta == pytest.approx(0.6)
+        np.testing.assert_array_equal(r.position, [1, 2])
+
+    def test_interrogation_cannot_exceed_interference(self):
+        with pytest.raises(ValueError, match="must not exceed"):
+            Reader(id=0, x=0, y=0, interference_radius=2, interrogation_radius=3)
+
+    def test_equal_radii_allowed(self):
+        r = Reader(id=0, x=0, y=0, interference_radius=2, interrogation_radius=2)
+        assert r.beta == 1.0
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Reader(id=-1, x=0, y=0, interference_radius=2, interrogation_radius=1)
+
+    def test_zero_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Reader(id=0, x=0, y=0, interference_radius=0, interrogation_radius=0)
+
+    def test_covers_boundary(self):
+        r = Reader(id=0, x=0, y=0, interference_radius=4, interrogation_radius=2)
+        assert r.covers((2.0, 0.0))
+        assert not r.covers((2.1, 0.0))
+
+    def test_interferes_at(self):
+        r = Reader(id=0, x=0, y=0, interference_radius=4, interrogation_radius=2)
+        assert r.interferes_at((4.0, 0.0))
+        assert not r.interferes_at((4.1, 0.0))
+
+    def test_frozen(self):
+        r = Reader(id=0, x=0, y=0, interference_radius=4, interrogation_radius=2)
+        with pytest.raises(AttributeError):
+            r.x = 5
+
+
+class TestTag:
+    def test_valid(self):
+        t = Tag(id=3, x=1.5, y=-2.5)
+        np.testing.assert_array_equal(t.position, [1.5, -2.5])
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Tag(id=-1, x=0, y=0)
+
+    def test_frozen(self):
+        t = Tag(id=0, x=0, y=0)
+        with pytest.raises(AttributeError):
+            t.x = 1

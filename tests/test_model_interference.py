@@ -1,0 +1,125 @@
+"""Tests for interference-graph construction and hop queries."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.model import (
+    adjacency_lists,
+    growth_profile,
+    hop_distances,
+    interference_graph,
+    r_hop_ball,
+)
+from tests.conftest import make_random_system
+
+
+class TestInterferenceGraph:
+    def test_line_system_edges(self, line_system):
+        g = interference_graph(line_system)
+        assert set(g.nodes) == {0, 1, 2}
+        assert set(g.edges) == {(0, 1)}
+
+    def test_matches_conflict_matrix(self, paper_system):
+        g = interference_graph(paper_system)
+        conflict = paper_system.conflict
+        assert g.number_of_edges() == int(np.triu(conflict, 1).sum())
+        for u, v in g.edges:
+            assert conflict[u, v]
+
+    def test_adjacency_lists_match_graph(self, paper_system):
+        g = interference_graph(paper_system)
+        adj = adjacency_lists(paper_system)
+        for i in range(paper_system.num_readers):
+            assert sorted(g.neighbors(i)) == adj[i].tolist()
+
+
+class TestHopDistances:
+    @pytest.fixture
+    def path_adj(self):
+        # path graph 0-1-2-3-4
+        return [
+            np.array([1]),
+            np.array([0, 2]),
+            np.array([1, 3]),
+            np.array([2, 4]),
+            np.array([3]),
+        ]
+
+    def test_path_distances(self, path_adj):
+        dist = hop_distances(path_adj, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_truncation(self, path_adj):
+        dist = hop_distances(path_adj, 0, max_hops=2)
+        assert dist == {0: 0, 1: 1, 2: 2}
+
+    def test_ball(self, path_adj):
+        np.testing.assert_array_equal(r_hop_ball(path_adj, 2, 1), [1, 2, 3])
+        np.testing.assert_array_equal(r_hop_ball(path_adj, 2, 0), [2])
+
+    def test_ball_negative_radius(self, path_adj):
+        with pytest.raises(ValueError):
+            r_hop_ball(path_adj, 0, -1)
+
+    def test_growth_profile(self, path_adj):
+        # |N^0|=1, |N^1|=2, |N^2|=3 ... from an endpoint
+        assert growth_profile(path_adj, 0, 4) == [1, 2, 3, 4, 5]
+
+    def test_matches_networkx(self, paper_system):
+        g = interference_graph(paper_system)
+        adj = adjacency_lists(paper_system)
+        for src in range(0, paper_system.num_readers, 7):
+            ours = hop_distances(adj, src)
+            theirs = nx.single_source_shortest_path_length(g, src)
+            assert ours == dict(theirs)
+
+    def test_disconnected_component(self, line_system):
+        adj = adjacency_lists(line_system)
+        dist = hop_distances(adj, 2)
+        assert dist == {2: 0}  # reader 2 is isolated
+
+
+class TestBoundedIndependence:
+    def test_profile_monotone_and_bounded(self, paper_system):
+        from repro.model.interference import bounded_independence_profile
+
+        profile = bounded_independence_profile(
+            paper_system, r_max=3, sample=10, seed=0
+        )
+        assert len(profile) == 4
+        assert profile[0] == 1  # a single node is its own ball
+        assert all(a <= b for a, b in zip(profile, profile[1:]))
+        assert profile[-1] <= paper_system.num_readers
+
+    def test_quadratic_growth_premise(self, paper_system):
+        """The geometric interference graph should satisfy the
+        growth-bounded premise of Theorems 3/5: f(r) = O(r²) — we check the
+        generous envelope f(r) ≤ 8·(r+1)²."""
+        from repro.model.interference import bounded_independence_profile
+
+        profile = bounded_independence_profile(
+            paper_system, r_max=3, sample=12, seed=1
+        )
+        for r, f in enumerate(profile):
+            assert f <= 8 * (r + 1) ** 2, (r, f)
+
+    def test_line_system(self, line_system):
+        from repro.model.interference import bounded_independence_profile
+
+        # balls: {v} at r=0 -> f=1; A-B ball at r=1 holds an IS of size 1
+        # within {A,B}, but C's ball is just {C}; f(1) = 1
+        profile = bounded_independence_profile(line_system, r_max=1)
+        assert profile == [1, 1]
+
+    def test_empty_system(self):
+        from repro.model import RFIDSystem
+        from repro.model.interference import bounded_independence_profile
+
+        assert bounded_independence_profile(RFIDSystem([], []), 2) == [0, 0, 0]
+
+    def test_validation(self, line_system):
+        from repro.model.interference import bounded_independence_profile
+
+        with pytest.raises(ValueError):
+            bounded_independence_profile(line_system, -1)

@@ -1,0 +1,130 @@
+"""Tests for monitored-region analytics."""
+
+import numpy as np
+import pytest
+
+from repro.model import build_system
+from repro.model.regions import (
+    CoverageReport,
+    _lens_area,
+    coverage_report,
+    pairwise_interrogation_overlap,
+)
+from tests.conftest import make_random_system
+
+
+class TestLensArea:
+    def test_disjoint(self):
+        assert _lens_area(1, 1, 3) == 0.0
+
+    def test_touching(self):
+        assert _lens_area(1, 1, 2) == 0.0
+
+    def test_contained(self):
+        assert _lens_area(3, 1, 0.5) == pytest.approx(np.pi)
+
+    def test_identical(self):
+        assert _lens_area(2, 2, 0) == pytest.approx(np.pi * 4)
+
+    def test_half_overlap_symmetry(self):
+        assert _lens_area(2, 3, 2.5) == pytest.approx(_lens_area(3, 2, 2.5))
+
+    def test_known_value(self):
+        # two unit circles 1 apart: lens area = 2·acos(1/2) − (√3)/2
+        want = 2 * np.arccos(0.5) - np.sqrt(3) / 2
+        assert _lens_area(1, 1, 1) == pytest.approx(want)
+
+    def test_monotone_in_distance(self):
+        areas = [_lens_area(2, 2, d) for d in (0.0, 1.0, 2.0, 3.0, 4.0)]
+        assert all(a >= b for a, b in zip(areas, areas[1:]))
+
+
+class TestPairwiseOverlap:
+    def test_diagonal_is_disk_area(self):
+        system = build_system(
+            np.array([[0.0, 0.0], [100.0, 0.0]]),
+            np.array([4.0, 6.0]),
+            np.array([2.0, 3.0]),
+            np.empty((0, 2)),
+        )
+        m = pairwise_interrogation_overlap(system)
+        assert m[0, 0] == pytest.approx(np.pi * 4)
+        assert m[1, 1] == pytest.approx(np.pi * 9)
+        assert m[0, 1] == 0.0  # far apart
+
+    def test_symmetric(self):
+        system = make_random_system(6, 0, 25, 8, 5, seed=0)
+        m = pairwise_interrogation_overlap(system)
+        np.testing.assert_allclose(m, m.T)
+
+
+class TestCoverageReport:
+    @pytest.fixture
+    def single_disk_system(self):
+        # one reader, interrogation radius 10, centered in a 40x40 region
+        return build_system(
+            np.array([[20.0, 20.0]]),
+            np.array([10.0]),
+            np.array([10.0]),
+            np.empty((0, 2)),
+        )
+
+    def test_single_disk_fraction(self, single_disk_system):
+        report = coverage_report(single_disk_system, side=40, samples=40_000, seed=0)
+        want = np.pi * 100 / 1600
+        assert report.monitored_fraction == pytest.approx(want, abs=0.01)
+        assert report.overlap_fraction == 0.0
+        assert report.monitored_area == pytest.approx(np.pi * 100, rel=0.06)
+
+    def test_histogram_sums_to_one(self):
+        system = make_random_system(10, 0, 40, 10, 6, seed=1)
+        report = coverage_report(system, side=40, samples=5000, seed=0)
+        assert sum(report.coverage_histogram.values()) == pytest.approx(1.0)
+
+    def test_overlap_le_monitored(self):
+        system = make_random_system(10, 0, 40, 10, 6, seed=1)
+        report = coverage_report(system, side=40, samples=5000, seed=0)
+        assert report.overlap_fraction <= report.monitored_fraction
+
+    def test_mean_depth_consistent(self):
+        system = make_random_system(10, 0, 40, 10, 6, seed=1)
+        report = coverage_report(system, side=40, samples=5000, seed=0)
+        recomputed = sum(k * v for k, v in report.coverage_histogram.items())
+        assert report.mean_coverage_depth == pytest.approx(recomputed)
+
+    def test_exclusive_fractions(self, single_disk_system):
+        report = coverage_report(single_disk_system, side=40, samples=20_000, seed=0)
+        assert report.exclusive_fraction_by_reader.shape == (1,)
+        assert report.exclusive_fraction_by_reader[0] == pytest.approx(
+            report.monitored_fraction
+        )
+
+    def test_empty_system(self):
+        from repro.model import RFIDSystem
+
+        report = coverage_report(RFIDSystem([], []), side=10, samples=100, seed=0)
+        assert report.monitored_fraction == 0.0
+        assert report.coverage_histogram == {0: 1.0}
+
+    def test_deterministic(self, single_disk_system):
+        a = coverage_report(single_disk_system, side=40, samples=1000, seed=5)
+        b = coverage_report(single_disk_system, side=40, samples=1000, seed=5)
+        assert a.monitored_fraction == b.monitored_fraction
+
+    def test_validation(self, single_disk_system):
+        with pytest.raises(ValueError):
+            coverage_report(single_disk_system, side=0)
+        with pytest.raises(ValueError):
+            coverage_report(single_disk_system, side=10, samples=0)
+
+    def test_rrc_exposed_area(self):
+        # two heavily overlapping same-size disks
+        system = build_system(
+            np.array([[20.0, 20.0], [22.0, 20.0]]),
+            np.array([10.0, 10.0]),
+            np.array([10.0, 10.0]),
+            np.empty((0, 2)),
+        )
+        report = coverage_report(system, side=40, samples=40_000, seed=0)
+        want = _lens_area(10, 10, 2)
+        assert report.rrc_exposed_area == pytest.approx(want, rel=0.08)

@@ -1,0 +1,86 @@
+"""Tests for ReadState."""
+
+import numpy as np
+import pytest
+
+from repro.model import ReadState
+
+
+class TestConstruction:
+    def test_all_unread_default(self):
+        s = ReadState(5)
+        assert s.num_unread() == 5
+        assert s.num_read() == 0
+        assert not s.all_read()
+
+    def test_zero_tags(self):
+        s = ReadState(0)
+        assert s.all_read()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ReadState(-1)
+
+    def test_initial_mask(self):
+        s = ReadState(3, unread=np.array([True, False, True]))
+        assert s.num_unread() == 2
+
+    def test_initial_mask_shape_checked(self):
+        with pytest.raises(ValueError):
+            ReadState(3, unread=np.array([True]))
+
+    def test_initial_mask_copied(self):
+        mask = np.array([True, True])
+        s = ReadState(2, unread=mask)
+        mask[0] = False
+        assert s.num_unread() == 2
+
+
+class TestMarkRead:
+    def test_basic(self):
+        s = ReadState(4)
+        assert s.mark_read([0, 2]) == 2
+        np.testing.assert_array_equal(s.unread_indices(), [1, 3])
+        np.testing.assert_array_equal(s.read_indices(), [0, 2])
+
+    def test_idempotent_count(self):
+        s = ReadState(4)
+        s.mark_read([0])
+        assert s.mark_read([0, 1]) == 1  # only tag 1 is newly read
+
+    def test_empty_noop(self):
+        s = ReadState(4)
+        assert s.mark_read([]) == 0
+        assert s.num_unread() == 4
+
+    def test_out_of_range(self):
+        s = ReadState(4)
+        with pytest.raises(IndexError):
+            s.mark_read([4])
+        with pytest.raises(IndexError):
+            s.mark_read([-1])
+
+    def test_all_read(self):
+        s = ReadState(2)
+        s.mark_read([0, 1])
+        assert s.all_read()
+
+    def test_is_unread(self):
+        s = ReadState(2)
+        s.mark_read([1])
+        assert s.is_unread(0) and not s.is_unread(1)
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        s = ReadState(3)
+        c = s.copy()
+        s.mark_read([0])
+        assert c.num_unread() == 3
+        assert s.num_unread() == 2
+
+    def test_unread_mask_is_copy(self):
+        s = ReadState(2)
+        mask = s.unread_mask
+        mask[0] = False
+        assert s.num_unread() == 2

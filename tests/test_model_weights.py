@@ -1,0 +1,140 @@
+"""Tests for the bitset weight oracle — must agree exactly with the NumPy
+oracle on feasible sets, under every unread mask."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import BitsetWeightOracle
+from tests.conftest import make_random_system, system_strategy
+
+
+@pytest.fixture
+def system():
+    return make_random_system(10, 80, 30, 8, 5, seed=1)
+
+
+class TestAgainstNumpyOracle:
+    def test_solo_weights(self, system):
+        oracle = BitsetWeightOracle(system)
+        for i in range(system.num_readers):
+            assert oracle.solo_weight(i) == system.weight([i])
+
+    def test_feasible_sets(self, system):
+        oracle = BitsetWeightOracle(system)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            candidates = rng.choice(system.num_readers, size=4, replace=False)
+            chosen = []
+            for c in candidates:
+                if not chosen or not system.conflict[c, chosen].any():
+                    chosen.append(int(c))
+            assert oracle.weight_of(chosen) == system.weight(chosen)
+
+    def test_unread_mask(self, system):
+        rng = np.random.default_rng(1)
+        unread = rng.random(system.num_tags) < 0.5
+        oracle = BitsetWeightOracle(system, unread)
+        for i in range(system.num_readers):
+            assert oracle.solo_weight(i) == system.weight([i], unread)
+
+    def test_bad_mask_shape(self, system):
+        with pytest.raises(ValueError):
+            BitsetWeightOracle(system, np.array([True]))
+
+    @given(system=system_strategy(max_readers=8, max_tags=30), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_property_equivalence(self, system, data):
+        oracle = BitsetWeightOracle(system)
+        n = system.num_readers
+        subset = data.draw(
+            st.lists(st.integers(0, n - 1), max_size=n, unique=True)
+        )
+        # keep only a feasible prefix
+        chosen = []
+        for c in subset:
+            if not chosen or not system.conflict[c, chosen].any():
+                chosen.append(c)
+        assert oracle.weight_of(chosen) == system.weight(chosen)
+
+
+class TestIncrementalState:
+    def test_push_pop_roundtrip(self, system):
+        oracle = BitsetWeightOracle(system)
+        base = oracle.current_weight()
+        oracle.push(0)
+        w1 = oracle.current_weight()
+        assert w1 == oracle.weight_of([0])
+        oracle.push(3)
+        oracle.pop()
+        assert oracle.current_weight() == w1
+        oracle.pop()
+        assert oracle.current_weight() == base == 0
+
+    def test_pop_empty_raises(self, system):
+        oracle = BitsetWeightOracle(system)
+        with pytest.raises(IndexError):
+            oracle.pop()
+
+    def test_depth(self, system):
+        oracle = BitsetWeightOracle(system)
+        assert oracle.depth == 0
+        oracle.push(0)
+        oracle.push(1)
+        assert oracle.depth == 2
+        oracle.reset()
+        assert oracle.depth == 0
+
+    def test_incremental_matches_scratch(self, system):
+        oracle = BitsetWeightOracle(system)
+        chosen = []
+        for c in (0, 2, 5, 7):
+            if not chosen or not system.conflict[c, chosen].any():
+                oracle.push(c)
+                chosen.append(c)
+                assert oracle.current_weight() == oracle.weight_of(chosen)
+
+
+class TestUpperBound:
+    def test_bound_dominates_all_extensions(self, system):
+        oracle = BitsetWeightOracle(system)
+        oracle.push(0)
+        candidates = [i for i in range(1, system.num_readers)]
+        ub = oracle.upper_bound_with(candidates)
+        # check a sample of feasible extensions
+        rng = np.random.default_rng(2)
+        for _ in range(40):
+            extra = rng.choice(candidates, size=3, replace=False)
+            chosen = [0]
+            for c in extra:
+                if not system.conflict[c, chosen].any():
+                    chosen.append(int(c))
+            assert oracle.weight_of(chosen) <= ub
+
+    def test_bound_with_no_candidates_is_current(self, system):
+        oracle = BitsetWeightOracle(system)
+        oracle.push(0)
+        assert oracle.upper_bound_with([]) == oracle.current_weight()
+
+
+class TestFromMasks:
+    def test_manual_masks(self):
+        # two readers: reader 10 covers tags {0,1}, reader 20 covers {1,2}
+        oracle = BitsetWeightOracle.from_masks(
+            {10: 0b011, 20: 0b110}, unread_mask=0b111
+        )
+        assert oracle.solo_weight(10) == 2
+        assert oracle.solo_weight(20) == 2
+        # union: tag 1 covered twice → only tags 0 and 2 count
+        assert oracle.weight_of([10, 20]) == 2
+
+    def test_unread_mask_limits(self):
+        oracle = BitsetWeightOracle.from_masks({1: 0b111}, unread_mask=0b001)
+        assert oracle.solo_weight(1) == 1
+
+    def test_well_covered_mask(self):
+        oracle = BitsetWeightOracle.from_masks(
+            {0: 0b011, 1: 0b110}, unread_mask=0b111
+        )
+        assert oracle.well_covered_mask([0, 1]) == 0b101

@@ -1,0 +1,108 @@
+"""Cross-solver property suite.
+
+Hypothesis-driven invariants every solver must satisfy on arbitrary small
+systems — the contract the registry promises to downstream code.  Kept
+separate from the per-solver test files so a new solver can be validated by
+adding one line to ``SOLVERS``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import exact_mwfs, get_solver
+from tests.conftest import system_strategy
+
+#: (name, kwargs, deterministic-without-seed)
+SOLVERS = [
+    ("exact", {}, True),
+    ("ptas", {"k": 2}, True),
+    ("centralized", {"rho": 1.4}, True),
+    ("distributed", {"rho": 1.4, "c": 1}, True),
+    ("ghc", {}, True),
+    ("ghc_naive", {}, True),
+    ("colorwave", {}, False),
+    ("random", {}, False),
+]
+
+COMMON_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@pytest.mark.parametrize("name,kwargs,_det", SOLVERS, ids=[s[0] for s in SOLVERS])
+class TestUniversalInvariants:
+    @given(system=system_strategy(max_readers=7, max_tags=25))
+    @settings(**COMMON_SETTINGS)
+    def test_weight_reported_honestly(self, name, kwargs, _det, system):
+        result = get_solver(name, **kwargs)(system, None, 7)
+        assert result.weight == system.weight(result.active)
+
+    @given(system=system_strategy(max_readers=7, max_tags=25))
+    @settings(**COMMON_SETTINGS)
+    def test_never_beats_exact(self, name, kwargs, _det, system):
+        result = get_solver(name, **kwargs)(system, None, 7)
+        assert result.weight <= exact_mwfs(system).weight
+
+    @given(system=system_strategy(max_readers=7, max_tags=25))
+    @settings(**COMMON_SETTINGS)
+    def test_active_indices_valid(self, name, kwargs, _det, system):
+        result = get_solver(name, **kwargs)(system, None, 7)
+        active = result.active
+        assert len(set(active.tolist())) == len(active)
+        if len(active):
+            assert active.min() >= 0
+            assert active.max() < system.num_readers
+
+    @given(
+        system=system_strategy(max_readers=7, max_tags=25),
+        data=st.data(),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_unread_mask_caps_weight(self, name, kwargs, _det, system, data):
+        m = system.num_tags
+        unread = np.array(
+            [data.draw(st.booleans()) for _ in range(m)], dtype=bool
+        )
+        result = get_solver(name, **kwargs)(system, unread, 7)
+        cap = int((system.covered_by_any() & unread).sum())
+        assert result.weight <= cap
+
+
+@pytest.mark.parametrize(
+    "name,kwargs",
+    [(n, k) for n, k, det in SOLVERS if det],
+    ids=[s[0] for s in SOLVERS if s[2]],
+)
+class TestDeterministicSolvers:
+    @given(system=system_strategy(max_readers=7, max_tags=25))
+    @settings(**COMMON_SETTINGS)
+    def test_same_input_same_output(self, name, kwargs, system):
+        a = get_solver(name, **kwargs)(system, None, None)
+        b = get_solver(name, **kwargs)(system, None, None)
+        np.testing.assert_array_equal(a.active, b.active)
+
+
+@pytest.mark.parametrize(
+    "name,kwargs",
+    [
+        ("exact", {}),
+        ("ptas", {"k": 2}),
+        ("centralized", {"rho": 1.4}),
+        ("distributed", {"rho": 1.4, "c": 1}),
+        ("colorwave", {}),
+        ("random", {}),
+    ],
+)
+class TestFeasibilityGuaranteedSolvers:
+    """Every solver except GHC promises feasible output."""
+
+    @given(system=system_strategy(max_readers=7, max_tags=25))
+    @settings(**COMMON_SETTINGS)
+    def test_always_feasible(self, name, kwargs, system):
+        result = get_solver(name, **kwargs)(system, None, 7)
+        assert result.feasible
+        assert system.is_feasible(result.active)

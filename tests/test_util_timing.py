@@ -1,0 +1,56 @@
+"""Tests for repro.util.timing."""
+
+import time
+
+from repro.util.timing import Stopwatch
+
+
+class TestStopwatch:
+    def test_measure_accumulates(self):
+        sw = Stopwatch()
+        with sw.measure("work"):
+            time.sleep(0.01)
+        assert sw.total("work") >= 0.01
+        assert sw.count("work") == 1
+
+    def test_multiple_intervals_sum(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw.measure("w"):
+                pass
+        assert sw.count("w") == 3
+        assert sw.total("w") >= 0
+        assert len(sw.samples("w")) == 3
+
+    def test_mean(self):
+        sw = Stopwatch()
+        sw.record("x", 1.0)
+        sw.record("x", 3.0)
+        assert sw.mean("x") == 2.0
+
+    def test_unknown_label_zero(self):
+        sw = Stopwatch()
+        assert sw.total("nope") == 0.0
+        assert sw.count("nope") == 0
+        assert sw.mean("nope") == 0.0
+        assert sw.samples("nope") == []
+
+    def test_labels_sorted(self):
+        sw = Stopwatch()
+        sw.record("b", 1)
+        sw.record("a", 1)
+        assert sw.labels() == ["a", "b"]
+
+    def test_summary_mentions_labels(self):
+        sw = Stopwatch()
+        sw.record("phase1", 0.5)
+        assert "phase1" in sw.summary()
+
+    def test_exception_still_records(self):
+        sw = Stopwatch()
+        try:
+            with sw.measure("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert sw.count("boom") == 1

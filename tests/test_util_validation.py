@@ -1,0 +1,89 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_finite_array,
+    check_in_range,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0, strict=False) == 0.0
+
+    def test_rejects_negative_always(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive("x", float("nan"))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive("x", float("inf"))
+
+    def test_coerces_to_float(self):
+        out = check_positive("x", 3)
+        assert isinstance(out, float)
+
+
+class TestCheckInRange:
+    def test_closed_interval_endpoints(self):
+        assert check_in_range("x", 0, 0, 1) == 0.0
+        assert check_in_range("x", 1, 0, 1) == 1.0
+
+    def test_open_lower_end(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 0, 0, 1, low_open=True)
+
+    def test_open_upper_end(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1, 0, 1, high_open=True)
+
+    def test_outside_raises(self):
+        with pytest.raises(ValueError, match="x must be in"):
+            check_in_range("x", 2, 0, 1)
+
+    def test_infinite_upper_bound(self):
+        assert check_in_range("x", 1e12, 1, float("inf"), low_open=True) == 1e12
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_valid(self, p):
+        assert check_probability("p", p) == p
+
+    @pytest.mark.parametrize("p", [-0.01, 1.01])
+    def test_invalid(self, p):
+        with pytest.raises(ValueError):
+            check_probability("p", p)
+
+
+class TestCheckFiniteArray:
+    def test_accepts_finite(self):
+        arr = np.array([1.0, 2.0])
+        out = check_finite_array("a", arr)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite_array("a", np.array([1.0, np.nan]))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_finite_array("a", np.array([np.inf]))
+
+    def test_empty_ok(self):
+        assert check_finite_array("a", np.array([])).size == 0

@@ -1,0 +1,86 @@
+"""Tests for the ASCII visualisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    render_deployment,
+    render_interference_matrix,
+    render_schedule_timeline,
+)
+from tests.conftest import make_random_system
+
+
+@pytest.fixture
+def system():
+    return make_random_system(8, 40, 30, 8, 5, seed=6)
+
+
+class TestRenderDeployment:
+    def test_contains_all_glyph_kinds(self, system):
+        unread = np.zeros(system.num_tags, dtype=bool)
+        unread[:10] = True
+        out = render_deployment(system, active=[0, 1], unread=unread)
+        assert "R" in out and "r" in out
+        assert "+" in out and "." in out
+        assert "legend" not in out  # legend is inline, not labelled
+        assert "R=active reader (2)" in out
+
+    def test_no_active_all_idle(self, system):
+        out = render_deployment(system)
+        assert "R=" in out
+        body = out.split("\n")[1:-2]
+        assert not any("R" in line for line in body)
+
+    def test_show_ranges_draws_circles(self, system):
+        out = render_deployment(system, active=[0], show_ranges=True, width=80)
+        assert "o" in out
+
+    def test_empty_system(self):
+        from repro.model import RFIDSystem
+
+        assert render_deployment(RFIDSystem([], [])) == "(empty system)"
+
+    def test_width_respected(self, system):
+        out = render_deployment(system, width=40)
+        for line in out.split("\n")[:-1]:
+            assert len(line) <= 42  # width + borders
+
+    def test_bad_width(self, system):
+        with pytest.raises(ValueError):
+            render_deployment(system, width=0)
+
+    def test_explicit_side_scales(self, system):
+        a = render_deployment(system, side=30)
+        b = render_deployment(system, side=300)
+        assert a != b
+
+
+class TestRenderTimeline:
+    def test_bars_scale(self):
+        out = render_schedule_timeline([10, 5, 0], width=20)
+        lines = out.split("\n")
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 0
+        assert out.endswith("0")
+
+    def test_empty(self):
+        assert render_schedule_timeline([]) == "(empty schedule)"
+
+    def test_custom_label(self):
+        assert "epoch   0" in render_schedule_timeline([3], label="epoch")
+
+
+class TestRenderInterferenceMatrix:
+    def test_marks_conflicts(self, line_system):
+        out = render_interference_matrix(line_system)
+        # reader 1 conflicts with reader 0 -> row "  1 #"
+        assert "  1 #" in out
+        # reader 2 conflicts with nobody -> row of dots
+        assert "  2 .." in out
+
+    def test_truncation_notice(self):
+        system = make_random_system(45, 10, 100, 5, 3, seed=0)
+        out = render_interference_matrix(system, max_readers=10)
+        assert "truncated" in out
