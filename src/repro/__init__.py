@@ -28,6 +28,9 @@ Subpackages
     message-passing runtime for the distributed protocols.
 ``repro.experiments``
     Sweeps and figure reproduction (Figures 6–9).
+``repro.obs``
+    Runtime telemetry: trace events, the null-default recorder, and the
+    BENCH benchmark trajectory (``docs/observability.md``).
 """
 
 from repro.core import (

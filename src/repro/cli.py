@@ -8,6 +8,11 @@ solve one instance (``solve``) and regenerate an evaluation figure
     rfid-sched solve --solver distributed --lambda-R 14 --schedule
     rfid-sched figure fig8 --seeds 0 1 2
     rfid-sched list-solvers
+    rfid-sched bench --quick
+
+``bench`` runs the pinned-seed benchmark matrix under tracing and appends
+the runs to ``BENCH_oneshot.json`` / ``BENCH_mcs.json`` (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -101,6 +106,26 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--tags", type=int, default=1200)
     sweep.add_argument("--side", type=float, default=100.0)
     sweep.add_argument("--save", default=None, help="write the raw sweep to JSON")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned-seed benchmark matrix and append to BENCH_*.json",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the small CI matrix instead of the paper-scale one",
+    )
+    bench.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory receiving BENCH_oneshot.json / BENCH_mcs.json",
+    )
+    bench.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="run and print the matrix without touching the BENCH files",
+    )
     return parser
 
 
@@ -231,6 +256,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import (
+        FULL_MATRIX,
+        QUICK_MATRIX,
+        format_bench_table,
+        run_bench_matrix,
+        write_bench_files,
+    )
+
+    matrix = QUICK_MATRIX if args.quick else FULL_MATRIX
+    print(
+        f"running {'quick' if args.quick else 'full'} benchmark matrix "
+        f"({len(matrix)} scenario points, oneshot + mcs)"
+    )
+    records = run_bench_matrix(matrix)
+    print(format_bench_table(records))
+    if args.dry_run:
+        print("dry run: BENCH files not written")
+        return 0
+    paths = write_bench_files(records, args.out_dir)
+    for family in sorted(paths):
+        print(f"appended {len(records[family])} {family} runs to {paths[family]}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -242,6 +292,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_coverage(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "report":
         from repro.experiments.report import generate_report
 

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.oneshot import OneShotResult, make_result
 from repro.model.system import RFIDSystem
 from repro.model.weights import BitsetWeightOracle
+from repro.obs.events import CandidateEvaluation, get_recorder
 from repro.util.rng import RngLike
 
 
@@ -102,6 +103,9 @@ def solve_mwfs_masks(
 
     recurse(cands)
     oracle.reset()
+    rec = get_recorder()
+    if rec.enabled:
+        rec.emit(CandidateEvaluation(context="exact.bnb", count=nodes_visited))
     return best_set, best_weight, exhausted
 
 

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.oneshot import OneShotResult, make_result
 from repro.model.system import RFIDSystem
 from repro.model.weights import BitsetWeightOracle
+from repro.obs.events import CandidateEvaluation, get_recorder
 from repro.util.rng import RngLike, as_rng
 
 
@@ -81,6 +82,7 @@ def local_search_mwfs(
 
     best_global: List[int] = []
     best_global_w = -1
+    moves_scored = 0
 
     for _ in range(restarts):
         current: Set[int] = set(_random_greedy_start(system, oracle, rng))
@@ -115,6 +117,7 @@ def local_search_mwfs(
                 temp *= cooling
                 continue
             trial_w = oracle.weight_of(trial)
+            moves_scored += 1
             delta = trial_w - current_w
             if delta >= 0 or rng.random() < math.exp(delta / max(temp, 1e-12)):
                 current, current_w = trial, trial_w
@@ -124,6 +127,9 @@ def local_search_mwfs(
         if best_w > best_global_w:
             best_global, best_global_w = best, best_w
 
+    rec = get_recorder()
+    if rec.enabled:
+        rec.emit(CandidateEvaluation(context="localsearch.moves", count=moves_scored))
     return make_result(
         system,
         best_global,

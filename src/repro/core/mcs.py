@@ -32,8 +32,16 @@ import numpy as np
 
 from repro.core.oneshot import OneShotResult, OneShotSolver
 from repro.linklayer.session import InventoryResult, run_inventory_session
+from repro.model.collisions import rrc_blocked_tags, rtc_victims
 from repro.model.state import ReadState
 from repro.model.system import RFIDSystem
+from repro.obs.events import (
+    CollisionTally,
+    ScheduleDone,
+    SlotEnd,
+    SlotStart,
+    get_recorder,
+)
 from repro.util.rng import RngLike, as_rng
 
 
@@ -125,12 +133,15 @@ def greedy_covering_schedule(
     uncovered = np.flatnonzero(~coverable & state.unread_mask)
     cap = max_slots if max_slots is not None else 4 * system.num_readers + 64
 
+    rec = get_recorder()
     slots: List[SlotRecord] = []
     total_read = 0
     while len(slots) < cap:
         unread = state.unread_mask & coverable
         if not unread.any():
             break
+        if rec.enabled:
+            rec.emit(SlotStart(slot=len(slots), unread_tags=int(unread.sum())))
         result: OneShotResult = solver(system, unread, rng)
         active = result.active
         well = system.well_covered_tags(active, unread)
@@ -159,8 +170,26 @@ def greedy_covering_schedule(
                 system, active, unread, protocol=linklayer, seed=rng
             )
 
+        if rec.enabled:
+            rec.emit(
+                CollisionTally(
+                    slot=len(slots),
+                    rrc_blocked=int(len(rrc_blocked_tags(system, active, unread))),
+                    rtc_silenced=int(len(rtc_victims(system, active))),
+                )
+            )
+
         state.mark_read(well.tolist())
         total_read += int(len(well))
+        if rec.enabled:
+            rec.emit(
+                SlotEnd(
+                    slot=len(slots),
+                    tags_read=int(len(well)),
+                    weight=int(len(well)),
+                    active_readers=int(len(active)),
+                )
+            )
         slots.append(
             SlotRecord(
                 slot=len(slots),
@@ -173,9 +202,14 @@ def greedy_covering_schedule(
         )
 
     remaining = state.unread_mask & coverable
+    complete = not bool(remaining.any())
+    if rec.enabled:
+        rec.emit(
+            ScheduleDone(slots=len(slots), tags_read=total_read, complete=complete)
+        )
     return ScheduleResult(
         slots=slots,
         tags_read_total=total_read,
         uncovered_tags=uncovered,
-        complete=not bool(remaining.any()),
+        complete=complete,
     )

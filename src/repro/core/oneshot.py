@@ -9,12 +9,14 @@ adding a scheduler means implementing one function and registering it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.model.system import RFIDSystem
+from repro.obs.events import SolverCall, get_recorder
 from repro.util.rng import RngLike
 
 
@@ -113,7 +115,21 @@ def _register_builtins() -> None:
     def wrap(fn):
         def factory(**kw):
             def solver(system, unread=None, seed=None):
-                return fn(system, unread=unread, seed=seed, **kw)
+                rec = get_recorder()
+                if not rec.enabled:
+                    return fn(system, unread=unread, seed=seed, **kw)
+                t0 = time.perf_counter()
+                result = fn(system, unread=unread, seed=seed, **kw)
+                rec.emit(
+                    SolverCall(
+                        solver=result.meta.get("solver", fn.__name__),
+                        seconds=time.perf_counter() - t0,
+                        weight=int(result.weight),
+                        active_readers=result.size,
+                        feasible=bool(result.feasible),
+                    )
+                )
+                return result
 
             solver.__name__ = fn.__name__
             return solver

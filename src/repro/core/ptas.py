@@ -37,6 +37,7 @@ from repro.core.oneshot import OneShotResult, make_result
 from repro.geometry.shifting import ShiftedHierarchy, Square, scale_radii
 from repro.model.system import RFIDSystem
 from repro.model.weights import BitsetWeightOracle
+from repro.obs.events import CandidateEvaluation, get_recorder
 from repro.util.rng import RngLike
 
 
@@ -257,6 +258,7 @@ def ptas_mwfs(
     if shifts is None:
         shifts = [(r, s) for r in range(k) for s in range(k)]
 
+    rec = get_recorder()
     best_set: List[int] = []
     best_weight = -1
     best_shift = None
@@ -274,6 +276,8 @@ def ptas_mwfs(
         )
         candidate = dp.solve()
         any_exhausted |= dp.budget_exhausted
+        if rec.enabled:
+            rec.emit(CandidateEvaluation(context="ptas.dp_cells", count=dp.calls))
         w = oracle.weight_of(candidate)
         if polish:
             # Polish per shift: the survive filter discards different disks

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Sequence
 
 from repro.distsim.messages import Message
+from repro.obs.events import DistsimRound, get_recorder
 
 
 @dataclass
@@ -181,10 +182,21 @@ class SyncEngine:
         self.stats.messages += len(outgoing)
         if self.tracer is not None:
             self.tracer.record_round(round_no, delivered, outgoing, self.nodes)
+        sent = len(outgoing)
         if self.loss_rate > 0.0 and outgoing:
             keep = self._loss_rng.random(len(outgoing)) >= self.loss_rate
             outgoing = [m for m, k in zip(outgoing, keep) if k]
             self.stats.dropped += int((~keep).sum())
+        rec = get_recorder()
+        if rec.enabled:
+            rec.emit(
+                DistsimRound(
+                    round_no=round_no,
+                    delivered=len(delivered),
+                    sent=sent,
+                    dropped=sent - len(outgoing),
+                )
+            )
         self._in_flight = outgoing
 
     @property

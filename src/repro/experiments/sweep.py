@@ -8,10 +8,12 @@ dict (one metric per algorithm, typically).  Results are aggregated per
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
 from repro.experiments.metrics import SeriesStats, aggregate
+from repro.obs.events import SweepPoint, get_recorder
 
 Measure = Callable[[float, int], Mapping[str, float]]
 
@@ -51,11 +53,24 @@ def run_sweep(
     if not seeds:
         raise ValueError("seeds must be non-empty")
 
+    rec = get_recorder()
     raw: Dict[Tuple[str, float], List[float]] = {}
     metric_names: List[str] = []
     for value in param_values:
         for seed in seeds:
-            sample = measure(value, seed)
+            if rec.enabled:
+                t0 = time.perf_counter()
+                sample = measure(value, seed)
+                rec.emit(
+                    SweepPoint(
+                        param=param_name,
+                        value=float(value),
+                        seed=int(seed),
+                        seconds=time.perf_counter() - t0,
+                    )
+                )
+            else:
+                sample = measure(value, seed)
             if not metric_names:
                 metric_names = list(sample)
             elif set(sample) != set(metric_names):

@@ -19,6 +19,7 @@ import numpy as np
 from repro.linklayer.aloha import FramedAlohaReader
 from repro.linklayer.treewalk import TreeWalkReader
 from repro.model.system import RFIDSystem
+from repro.obs.events import LinkLayerSession, get_recorder
 from repro.util.rng import RngLike, as_rng, spawn_rngs
 
 Protocol = Literal["aloha", "treewalk"]
@@ -102,9 +103,21 @@ def run_inventory_session(
         else:
             raise ValueError(f"unknown protocol: {protocol!r}")
 
-    return InventoryResult(
+    result = InventoryResult(
         active=idx,
         tags_by_reader=tags_by_reader,
         micro_slots_by_reader=micro,
         tags_read=int(len(well)),
     )
+    rec = get_recorder()
+    if rec.enabled:
+        rec.emit(
+            LinkLayerSession(
+                protocol=protocol,
+                micro_slots=result.duration,
+                total_work=result.total_work,
+                tags_read=result.tags_read,
+                readers=len(micro),
+            )
+        )
+    return result

@@ -1,0 +1,83 @@
+"""Runtime observability: trace events, aggregation, benchmark export.
+
+The obs layer is the repository's telemetry backbone (see
+``docs/observability.md`` for the full contract):
+
+* :mod:`repro.obs.events` — typed trace events plus a process-wide
+  :class:`~repro.obs.events.Recorder` whose default is a null object, so
+  instrumented hot paths cost one attribute check when tracing is off;
+* :mod:`repro.obs.collectors` — :class:`~repro.obs.collectors.RunCollector`
+  aggregates an event stream into per-run counters, timers and per-slot
+  series;
+* :mod:`repro.obs.export` — the versioned BENCH JSON schema and the merge
+  tool that appends runs to ``BENCH_oneshot.json`` / ``BENCH_mcs.json``;
+* :mod:`repro.obs.bench` — the pinned-seed scenario matrix behind the
+  ``rfid-sched bench`` subcommand.
+
+Like :mod:`repro.util`, this package sits below everything else: it imports
+only the standard library (and :mod:`repro.util` for timing), so any layer —
+core, linklayer, distsim, experiments — may emit events without creating
+dependency cycles.
+"""
+
+from repro.obs.collectors import RunCollector
+from repro.obs.events import (
+    EVENT_TYPES,
+    NULL_RECORDER,
+    CandidateEvaluation,
+    CollisionTally,
+    DistsimRound,
+    LinkLayerSession,
+    NullRecorder,
+    Recorder,
+    ScheduleDone,
+    SlotEnd,
+    SlotStart,
+    SolverCall,
+    SweepPoint,
+    TraceRecorder,
+    get_recorder,
+    recording,
+    set_recorder,
+)
+from repro.obs.export import (
+    BENCH_FORMAT,
+    METRIC_FIELDS,
+    RUN_FIELDS,
+    SCHEMA_VERSION,
+    load_bench,
+    merge_run,
+    run_record,
+    validate_bench,
+    validate_run,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "SlotStart",
+    "SlotEnd",
+    "SolverCall",
+    "CandidateEvaluation",
+    "CollisionTally",
+    "LinkLayerSession",
+    "DistsimRound",
+    "ScheduleDone",
+    "SweepPoint",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "TraceRecorder",
+    "get_recorder",
+    "set_recorder",
+    "recording",
+    "RunCollector",
+    "SCHEMA_VERSION",
+    "BENCH_FORMAT",
+    "METRIC_FIELDS",
+    "RUN_FIELDS",
+    "run_record",
+    "validate_run",
+    "validate_bench",
+    "merge_run",
+    "load_bench",
+]

@@ -1,0 +1,180 @@
+"""Pinned-seed benchmark matrix behind ``rfid-sched bench``.
+
+Two families, mirroring the paper's evaluation axes (Figures 6–9 sweep
+reader/tag density via the Poisson means):
+
+* **oneshot** — one solver invocation per scenario point (Definition 6);
+* **mcs** — the full greedy covering schedule (Definitions 4–5).
+
+Every point pins its seed, so re-running the same matrix on the same library
+version reproduces the same *work* counters (``sets_evaluated``,
+``slots_to_completion``, ``tags_per_slot``) exactly; only wall-clock varies
+with the host.  ``--quick`` runs a small matrix suited to CI smoke tests;
+the full matrix runs the paper-scale workload.
+
+Records are appended to ``BENCH_oneshot.json`` / ``BENCH_mcs.json`` via
+:func:`repro.obs.export.merge_run`, growing the repo's performance
+trajectory one run at a time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.obs.collectors import RunCollector
+from repro.obs.events import recording
+from repro.obs.export import merge_run, run_record
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """One scenario point of the benchmark matrix."""
+
+    label: str
+    solver: str
+    scenario_kwargs: dict = field(default_factory=dict)
+    solver_kwargs: dict = field(default_factory=dict)
+
+    def build(self):
+        """Materialise the point's :class:`~repro.deployment.Scenario`."""
+        from repro.deployment.scenario import Scenario
+
+        return Scenario(**self.scenario_kwargs)
+
+
+def _point(label: str, solver: str, readers: int, tags: int, side: float,
+           lam_R: float, lam_r: float, seed: int, **solver_kwargs) -> BenchPoint:
+    return BenchPoint(
+        label=label,
+        solver=solver,
+        scenario_kwargs=dict(
+            num_readers=readers,
+            num_tags=tags,
+            side=side,
+            lambda_interference=lam_R,
+            lambda_interrogation=lam_r,
+            seed=seed,
+        ),
+        solver_kwargs=dict(solver_kwargs),
+    )
+
+
+#: CI-sized matrix: three density points, small instances, pinned seeds.
+QUICK_MATRIX: Tuple[BenchPoint, ...] = (
+    _point("q_sparse_r12t100", "ptas", 12, 100, 40.0, 8.0, 5.0, 101, k=2),
+    _point("q_mid_r16t150", "ptas", 16, 150, 50.0, 10.0, 5.0, 202, k=2),
+    _point("q_dense_r20t200", "ptas", 20, 200, 50.0, 12.0, 6.0, 303, k=2),
+)
+
+#: Paper-scale matrix: the Section-VI workload at three λ_R densities.
+FULL_MATRIX: Tuple[BenchPoint, ...] = (
+    _point("p_lR8_r50t1200", "ptas", 50, 1200, 100.0, 8.0, 5.0, 1001, k=3),
+    _point("p_lR10_r50t1200", "ptas", 50, 1200, 100.0, 10.0, 5.0, 1002, k=3),
+    _point("p_lR14_r50t1200", "ptas", 50, 1200, 100.0, 14.0, 5.0, 1003, k=3),
+)
+
+
+def run_oneshot_bench(point: BenchPoint) -> dict:
+    """Measure one solver invocation at *point*; returns a run record."""
+    from repro.core.oneshot import get_solver
+
+    scenario = point.build()
+    system = scenario.build()
+    solver = get_solver(point.solver, **point.solver_kwargs)
+    collector = RunCollector()
+    t0 = time.perf_counter()
+    with recording(collector):
+        result = solver(system, None, scenario.seed)
+    wall = time.perf_counter() - t0
+    metrics = collector.summary()
+    metrics["weight"] = int(result.weight)
+    metrics["active_readers"] = int(result.size)
+    metrics["feasible"] = bool(result.feasible)
+    return run_record(
+        bench="oneshot",
+        label=point.label,
+        solver=point.solver,
+        scenario=dataclasses.asdict(scenario),
+        metrics=metrics,
+        wall_clock_s=wall,
+    )
+
+
+def run_mcs_bench(point: BenchPoint) -> dict:
+    """Measure a full greedy covering schedule at *point*; returns a run
+    record."""
+    from repro.core.mcs import greedy_covering_schedule
+    from repro.core.oneshot import get_solver
+
+    scenario = point.build()
+    system = scenario.build()
+    solver = get_solver(point.solver, **point.solver_kwargs)
+    collector = RunCollector()
+    t0 = time.perf_counter()
+    with recording(collector):
+        schedule = greedy_covering_schedule(system, solver, seed=scenario.seed)
+    wall = time.perf_counter() - t0
+    metrics = collector.summary()
+    metrics["slots_to_completion"] = int(schedule.size)
+    metrics["complete"] = bool(schedule.complete)
+    return run_record(
+        bench="mcs",
+        label=point.label,
+        solver=point.solver,
+        scenario=dataclasses.asdict(scenario),
+        metrics=metrics,
+        wall_clock_s=wall,
+    )
+
+
+def run_bench_matrix(
+    points: Sequence[BenchPoint],
+) -> Dict[str, List[dict]]:
+    """Run both bench families over *points*; returns records keyed by
+    family (``"oneshot"`` / ``"mcs"``)."""
+    return {
+        "oneshot": [run_oneshot_bench(p) for p in points],
+        "mcs": [run_mcs_bench(p) for p in points],
+    }
+
+
+def write_bench_files(
+    records: Dict[str, List[dict]], out_dir: PathLike = "."
+) -> Dict[str, Path]:
+    """Append *records* to ``BENCH_oneshot.json`` / ``BENCH_mcs.json`` in
+    *out_dir*; returns the paths written."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: Dict[str, Path] = {}
+    for family, recs in records.items():
+        path = out / f"BENCH_{family}.json"
+        for record in recs:
+            merge_run(path, record)
+        paths[family] = path
+    return paths
+
+
+def format_bench_table(records: Dict[str, List[dict]]) -> str:
+    """Human-readable summary of a bench run, one row per record."""
+    rows = [
+        f"{'family':<8} {'label':<20} {'solver':<12} "
+        f"{'wall_s':>8} {'solver_s':>9} {'sets':>9} {'slots':>6} {'weight':>7}"
+    ]
+    for family, recs in sorted(records.items()):
+        for r in recs:
+            m = r["metrics"]
+            rows.append(
+                f"{family:<8} {r['label']:<20} {r['solver']:<12} "
+                f"{r['wall_clock_s']:>8.3f} "
+                f"{m['solver_wall_clock_s']:>9.3f} "
+                f"{m['sets_evaluated']:>9d} "
+                f"{m.get('slots_to_completion', '-')!s:>6} "
+                f"{m.get('weight', '-')!s:>7}"
+            )
+    return "\n".join(rows)

@@ -1,0 +1,133 @@
+"""Aggregation of trace events into per-run counters, timers and series.
+
+A :class:`RunCollector` is an enabled :class:`~repro.obs.events.Recorder`
+that folds the event stream into exactly the quantities the BENCH schema
+exports (:mod:`repro.obs.export`): monotone counters, a
+:class:`~repro.util.timing.Stopwatch` of solver wall-clock, and per-slot
+series for the flamegraph-style breakdown in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.events import (
+    CandidateEvaluation,
+    CollisionTally,
+    DistsimRound,
+    LinkLayerSession,
+    Recorder,
+    ScheduleDone,
+    SlotEnd,
+    SlotStart,
+    SolverCall,
+    SweepPoint,
+)
+from repro.util.timing import Stopwatch
+
+
+class RunCollector(Recorder):
+    """Aggregates one run's trace events.
+
+    Attributes
+    ----------
+    counters:
+        Monotone event tallies (see :meth:`summary` for the exported names).
+    solver_times:
+        :class:`Stopwatch` keyed by solver name — wall-clock per invocation.
+    tags_per_slot / sets_per_slot:
+        Per-slot series: tags served, and candidate sets evaluated while the
+        slot was open (the per-phase breakdown of where search effort went).
+    sets_by_context:
+        Candidate-set evaluations keyed by search context
+        (``"exact.bnb"``, ``"ptas.dp_cells"``, ``"localsearch.moves"``).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {
+            "slots": 0,
+            "tags_read": 0,
+            "solver_calls": 0,
+            "sets_evaluated": 0,
+            "rrc_blocked": 0,
+            "rtc_silenced": 0,
+            "linklayer_micro_slots": 0,
+            "linklayer_work": 0,
+            "distsim_rounds": 0,
+            "distsim_messages": 0,
+            "distsim_dropped": 0,
+            "sweep_points": 0,
+        }
+        self.solver_times = Stopwatch()
+        self.sweep_times = Stopwatch()
+        self.tags_per_slot: List[int] = []
+        self.sets_per_slot: List[int] = []
+        self.sets_by_context: Dict[str, int] = {}
+        self.schedule_complete: Optional[bool] = None
+        self._open_slot: Optional[int] = None
+        self._open_slot_sets = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, event) -> None:
+        """Fold one event into the aggregates (unknown events are ignored,
+        so custom recorders can extend the taxonomy without breaking this
+        collector)."""
+        if isinstance(event, SlotStart):
+            self._open_slot = event.slot
+            self._open_slot_sets = 0
+        elif isinstance(event, SlotEnd):
+            self.counters["slots"] += 1
+            self.counters["tags_read"] += event.tags_read
+            self.tags_per_slot.append(event.tags_read)
+            self.sets_per_slot.append(self._open_slot_sets)
+            self._open_slot = None
+            self._open_slot_sets = 0
+        elif isinstance(event, SolverCall):
+            self.counters["solver_calls"] += 1
+            self.solver_times.record(event.solver, event.seconds)
+        elif isinstance(event, CandidateEvaluation):
+            self.counters["sets_evaluated"] += event.count
+            self.sets_by_context[event.context] = (
+                self.sets_by_context.get(event.context, 0) + event.count
+            )
+            if self._open_slot is not None:
+                self._open_slot_sets += event.count
+        elif isinstance(event, CollisionTally):
+            self.counters["rrc_blocked"] += event.rrc_blocked
+            self.counters["rtc_silenced"] += event.rtc_silenced
+        elif isinstance(event, LinkLayerSession):
+            self.counters["linklayer_micro_slots"] += event.micro_slots
+            self.counters["linklayer_work"] += event.total_work
+        elif isinstance(event, DistsimRound):
+            self.counters["distsim_rounds"] += 1
+            self.counters["distsim_messages"] += event.sent
+            self.counters["distsim_dropped"] += event.dropped
+        elif isinstance(event, ScheduleDone):
+            self.schedule_complete = event.complete
+        elif isinstance(event, SweepPoint):
+            self.counters["sweep_points"] += 1
+            self.sweep_times.record(event.param, event.seconds)
+
+    # ------------------------------------------------------------------
+    @property
+    def solver_wall_clock_s(self) -> float:
+        """Total solver wall-clock across every solver, in seconds."""
+        return sum(self.solver_times.total(lb) for lb in self.solver_times.labels())
+
+    def summary(self) -> dict:
+        """The aggregates as a plain dict — the ``metrics`` payload of a
+        BENCH run record (field names documented in
+        ``docs/observability.md``)."""
+        out = dict(self.counters)
+        out["solver_wall_clock_s"] = self.solver_wall_clock_s
+        out["solver_seconds_by_name"] = {
+            lb: self.solver_times.total(lb) for lb in self.solver_times.labels()
+        }
+        out["sets_by_context"] = dict(sorted(self.sets_by_context.items()))
+        out["tags_per_slot"] = list(self.tags_per_slot)
+        out["sets_per_slot"] = list(self.sets_per_slot)
+        if self.schedule_complete is not None:
+            out["complete"] = bool(self.schedule_complete)
+        return out

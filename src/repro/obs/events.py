@@ -1,0 +1,229 @@
+"""Typed trace events and the process-wide recorder.
+
+Instrumented code follows one discipline everywhere::
+
+    rec = get_recorder()
+    if rec.enabled:
+        rec.emit(SlotStart(slot=3, unread_tags=120))
+
+The default recorder is :data:`NULL_RECORDER`, whose ``enabled`` flag is
+``False`` — the instrumentation then costs a module-global read plus one
+attribute check, and in particular never *computes* the event payload
+(collision tallies, message counts, …).  Turning tracing on is a matter of
+installing any recorder with ``enabled = True`` via :func:`set_recorder` or,
+preferably, the :func:`recording` context manager which restores the
+previous recorder on exit.
+
+The event taxonomy is the observability contract: every class listed in
+:data:`EVENT_TYPES` is documented in ``docs/observability.md`` (enforced by
+``tests/test_obs_docs.py``).  Events are frozen dataclasses — immutable,
+hashable-by-value records that collectors may retain without copying.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+
+# ---------------------------------------------------------------------------
+# event taxonomy
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SlotStart:
+    """The MCS driver opens time-slot *slot* with *unread_tags* coverable
+    unread tags remaining."""
+
+    slot: int
+    unread_tags: int
+
+
+@dataclass(frozen=True)
+class SlotEnd:
+    """Time-slot *slot* closed: the chosen set served *tags_read* tags with
+    weight *weight* using *active_readers* readers."""
+
+    slot: int
+    tags_read: int
+    weight: int
+    active_readers: int
+
+
+@dataclass(frozen=True)
+class SolverCall:
+    """One one-shot solver invocation: *solver* took *seconds* of wall-clock
+    and returned a set of *active_readers* readers with the given *weight*
+    and feasibility."""
+
+    solver: str
+    seconds: float
+    weight: int
+    active_readers: int
+    feasible: bool
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """A search routine evaluated *count* candidate scheduling sets.
+
+    ``context`` names the search that did the work: ``"exact.bnb"``
+    (branch-and-bound tree nodes), ``"ptas.dp_cells"`` (DP cells solved for
+    one shift), ``"localsearch.moves"`` (annealing moves scored).
+    """
+
+    context: str
+    count: int
+
+
+@dataclass(frozen=True)
+class CollisionTally:
+    """Collision accounting for one slot: *rrc_blocked* unread tags blanked
+    by reader–reader collision, *rtc_silenced* active readers silenced by
+    reader–tag collision (Figure 1 of the paper)."""
+
+    slot: int
+    rrc_blocked: int
+    rtc_silenced: int
+
+
+@dataclass(frozen=True)
+class LinkLayerSession:
+    """Link-layer accounting for one slot: *readers* operational readers ran
+    *protocol*, the slot lasted *micro_slots* micro-slots (parallel max),
+    cost *total_work* micro-slots summed over readers, and identified
+    *tags_read* tags."""
+
+    protocol: str
+    micro_slots: int
+    total_work: int
+    tags_read: int
+    readers: int
+
+
+@dataclass(frozen=True)
+class DistsimRound:
+    """One synchronous round of the message-passing engine: *delivered*
+    messages arrived, *sent* were queued for next round, *dropped* of the
+    sent messages were lost."""
+
+    round_no: int
+    delivered: int
+    sent: int
+    dropped: int
+
+
+@dataclass(frozen=True)
+class ScheduleDone:
+    """A covering schedule finished: *slots* slots, *tags_read* tags served,
+    *complete* iff every coverable tag was read."""
+
+    slots: int
+    tags_read: int
+    complete: bool
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One replicated sweep measurement: ``measure(value, seed)`` at sweep
+    parameter *param* took *seconds*."""
+
+    param: str
+    value: float
+    seed: int
+    seconds: float
+
+
+#: Every event class in the taxonomy, in documentation order.
+EVENT_TYPES: Tuple[type, ...] = (
+    SlotStart,
+    SlotEnd,
+    SolverCall,
+    CandidateEvaluation,
+    CollisionTally,
+    LinkLayerSession,
+    DistsimRound,
+    ScheduleDone,
+    SweepPoint,
+)
+
+
+# ---------------------------------------------------------------------------
+# recorders
+# ---------------------------------------------------------------------------
+class Recorder:
+    """Base recorder interface.
+
+    Subclasses set ``enabled = True`` and override :meth:`emit`.  The base
+    class doubles as the specification of the null fast path: instrumented
+    code must guard *all* payload computation behind ``rec.enabled`` so a
+    disabled recorder costs one attribute check per instrumentation site.
+    """
+
+    #: Instrumented code skips event construction entirely when False.
+    enabled: bool = False
+
+    def emit(self, event) -> None:
+        """Receive one trace event (no-op unless overridden)."""
+
+
+class NullRecorder(Recorder):
+    """The default do-nothing recorder (``enabled`` is False)."""
+
+    __slots__ = ()
+
+
+class TraceRecorder(Recorder):
+    """Records every event verbatim, in emission order.
+
+    The simplest enabled recorder — useful in tests and for ad-hoc
+    inspection; production aggregation lives in
+    :class:`repro.obs.collectors.RunCollector`.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[object] = []
+
+    def emit(self, event) -> None:
+        """Append *event* to :attr:`events`."""
+        self.events.append(event)
+
+
+#: Process-wide default recorder; never replaced, only shadowed.
+NULL_RECORDER = NullRecorder()
+
+_recorder: Recorder = NULL_RECORDER
+
+
+def get_recorder() -> Recorder:
+    """The currently installed process-wide recorder."""
+    return _recorder
+
+
+def set_recorder(recorder: Optional[Recorder]) -> Recorder:
+    """Install *recorder* as the process-wide recorder (``None`` restores
+    the null recorder); returns the previously installed one."""
+    global _recorder
+    previous = _recorder
+    _recorder = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+@contextmanager
+def recording(recorder: Optional[Recorder] = None) -> Iterator[Recorder]:
+    """Context manager installing *recorder* (default: a fresh
+    :class:`TraceRecorder`) for the dynamic extent of the block, restoring
+    the previous recorder on exit::
+
+        with recording(RunCollector()) as rec:
+            greedy_covering_schedule(system, solver)
+        print(rec.counters)
+    """
+    rec = recorder if recorder is not None else TraceRecorder()
+    previous = set_recorder(rec)
+    try:
+        yield rec
+    finally:
+        set_recorder(previous)

@@ -1,0 +1,191 @@
+"""BENCH JSON schema and the trajectory merge tool.
+
+A BENCH file (``BENCH_oneshot.json``, ``BENCH_mcs.json``) is the repo's
+performance trajectory: every PR appends runs, none rewrites history.  The
+schema is therefore versioned and append-only:
+
+* the top level carries ``format`` / ``version`` / ``benchmark`` headers and
+  a ``runs`` list;
+* each run record carries the scenario, the solver, a ``metrics`` dict
+  aggregated by :class:`~repro.obs.collectors.RunCollector`, and provenance
+  (library version, schema version).
+
+Compatibility contract: within schema version 1, fields are only ever
+*added* to ``metrics``; existing field names and meanings never change.
+Readers must ignore unknown metric fields.  A semantic change requires a
+version bump, and :func:`load_bench` refuses versions it does not know.
+
+The documented field list in ``docs/observability.md`` is diffed against
+:data:`METRIC_FIELDS` / :data:`RUN_FIELDS` by ``tests/test_obs_docs.py``, so
+schema and docs cannot drift apart silently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+SCHEMA_VERSION = 1
+
+#: The ``format`` header of every BENCH file.
+BENCH_FORMAT = "repro.bench"
+
+PathLike = Union[str, Path]
+
+#: Every field a run record may carry at its top level, with its meaning.
+RUN_FIELDS: Dict[str, str] = {
+    "bench": "benchmark family, 'oneshot' or 'mcs'",
+    "label": "human-readable scenario point label",
+    "solver": "registry name of the solver under measurement",
+    "scenario": "generator parameters: readers, tags, side, lambdas, seed",
+    "metrics": "aggregated counters/timers/series (see metric fields)",
+    "wall_clock_s": "end-to-end wall-clock of the measured run, seconds",
+    "repro_version": "library version that produced the run",
+    "schema_version": "BENCH schema version the record conforms to",
+}
+
+#: Every metric field exporters may emit, with its meaning.
+METRIC_FIELDS: Dict[str, str] = {
+    "slots": "time-slots executed (MCS driver SlotEnd count)",
+    "slots_to_completion": "covering-schedule size (Definition 4)",
+    "tags_read": "tags served across the run (sum of SlotEnd.tags_read)",
+    "tags_per_slot": "tags served per slot, in slot order",
+    "weight": "one-shot weight w(X) of the returned set (Definition 3)",
+    "active_readers": "size of the returned one-shot set",
+    "feasible": "whether the returned one-shot set is feasible",
+    "complete": "whether the covering schedule read every coverable tag",
+    "solver_calls": "one-shot solver invocations (SolverCall count)",
+    "solver_wall_clock_s": "total solver wall-clock, seconds",
+    "solver_seconds_by_name": "solver wall-clock split by solver name",
+    "sets_evaluated": "candidate scheduling sets scored by search routines",
+    "sets_per_slot": "candidate sets evaluated while each slot was open",
+    "sets_by_context": "sets_evaluated split by search context",
+    "rrc_blocked": "unread tags blanked by reader-reader collision",
+    "rtc_silenced": "active readers silenced by reader-tag collision",
+    "linklayer_micro_slots": "link-layer slot durations summed (parallel max)",
+    "linklayer_work": "link-layer micro-slots summed over readers",
+    "distsim_rounds": "synchronous message-passing rounds executed",
+    "distsim_messages": "messages sent through the distsim engine",
+    "distsim_dropped": "messages lost to the engine's loss process",
+    "sweep_points": "replicated sweep measurements recorded",
+}
+
+#: Metric fields every run of a given bench family must include.
+REQUIRED_METRICS: Dict[str, List[str]] = {
+    "oneshot": ["weight", "active_readers", "feasible", "solver_calls",
+                "solver_wall_clock_s", "sets_evaluated"],
+    "mcs": ["slots_to_completion", "tags_read", "complete", "solver_calls",
+            "solver_wall_clock_s", "sets_evaluated", "tags_per_slot"],
+}
+
+
+def run_record(
+    bench: str,
+    label: str,
+    solver: str,
+    scenario: dict,
+    metrics: dict,
+    wall_clock_s: float,
+) -> dict:
+    """Assemble one schema-valid run record (validated before return)."""
+    from repro import __version__
+
+    record = {
+        "bench": bench,
+        "label": label,
+        "solver": solver,
+        "scenario": dict(scenario),
+        "metrics": dict(metrics),
+        "wall_clock_s": float(wall_clock_s),
+        "repro_version": __version__,
+        "schema_version": SCHEMA_VERSION,
+    }
+    validate_run(record)
+    return record
+
+
+def validate_run(record: dict) -> None:
+    """Raise ``ValueError`` unless *record* is a schema-valid run record."""
+    missing = [k for k in RUN_FIELDS if k not in record]
+    if missing:
+        raise ValueError(f"run record missing fields: {missing}")
+    unknown = [k for k in record if k not in RUN_FIELDS]
+    if unknown:
+        raise ValueError(f"run record has undeclared fields: {unknown}")
+    bench = record["bench"]
+    if bench not in REQUIRED_METRICS:
+        raise ValueError(f"unknown bench family {bench!r}")
+    if record["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"run record schema_version {record['schema_version']!r} "
+            f"!= {SCHEMA_VERSION}"
+        )
+    metrics = record["metrics"]
+    if not isinstance(metrics, dict):
+        raise ValueError("metrics must be a dict")
+    undeclared = [k for k in metrics if k not in METRIC_FIELDS]
+    if undeclared:
+        raise ValueError(f"metrics has undeclared fields: {undeclared}")
+    absent = [k for k in REQUIRED_METRICS[bench] if k not in metrics]
+    if absent:
+        raise ValueError(f"{bench} run missing required metrics: {absent}")
+
+
+def validate_bench(data: dict) -> None:
+    """Raise ``ValueError`` unless *data* is a schema-valid BENCH file."""
+    if data.get("format") != BENCH_FORMAT:
+        raise ValueError(f"expected format {BENCH_FORMAT!r}, got {data.get('format')!r}")
+    if data.get("version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported BENCH version {data.get('version')!r} "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    if data.get("benchmark") not in REQUIRED_METRICS:
+        raise ValueError(f"unknown benchmark family {data.get('benchmark')!r}")
+    runs = data.get("runs")
+    if not isinstance(runs, list):
+        raise ValueError("BENCH file must carry a 'runs' list")
+    for record in runs:
+        validate_run(record)
+
+
+def _empty_bench(benchmark: str) -> dict:
+    return {
+        "format": BENCH_FORMAT,
+        "version": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "runs": [],
+    }
+
+
+def merge_run(path: PathLike, record: dict) -> dict:
+    """Append *record* to the BENCH file at *path* (created with a fresh
+    header if absent), validating both sides; returns the merged document.
+
+    This is the append-only trajectory tool: existing runs are never
+    rewritten, so ``BENCH_*.json`` accumulates one entry per measured run
+    across PRs.
+    """
+    validate_run(record)
+    p = Path(path)
+    if p.exists():
+        data = json.loads(p.read_text())
+        validate_bench(data)
+        if data["benchmark"] != record["bench"]:
+            raise ValueError(
+                f"cannot merge {record['bench']!r} run into "
+                f"{data['benchmark']!r} trajectory {p}"
+            )
+    else:
+        data = _empty_bench(record["bench"])
+    data["runs"].append(record)
+    p.write_text(json.dumps(data, indent=1, sort_keys=False) + "\n")
+    return data
+
+
+def load_bench(path: PathLike) -> dict:
+    """Read and validate a BENCH file."""
+    data = json.loads(Path(path).read_text())
+    validate_bench(data)
+    return data

@@ -1,0 +1,116 @@
+"""Docs/code contract tests for the observability layer.
+
+``docs/observability.md`` is the telemetry contract: its event-taxonomy and
+schema-field tables must match the code exactly (both directions), and the
+cross-references in every docs page must resolve to real modules/files.
+Companion of ``tests/test_docstrings.py``, which enforces docstrings on the
+code side.
+"""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs.events import EVENT_TYPES
+from repro.obs.export import METRIC_FIELDS, RUN_FIELDS
+
+REPO = Path(__file__).resolve().parent.parent
+DOC = REPO / "docs" / "observability.md"
+
+DOC_PAGES = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+
+
+def _section(text: str, heading: str) -> str:
+    """The body of the markdown section titled *heading* (any level), up to
+    the next heading of the same or shallower level."""
+    pattern = rf"^(#+)\s+{re.escape(heading)}\s*$"
+    match = re.search(pattern, text, flags=re.MULTILINE)
+    assert match, f"section {heading!r} missing from {DOC}"
+    level = len(match.group(1))
+    rest = text[match.end():]
+    nxt = re.search(rf"^#{{1,{level}}}\s", rest, flags=re.MULTILINE)
+    return rest[: nxt.start()] if nxt else rest
+
+
+def _table_names(section: str) -> set:
+    """First-column backticked identifiers of every markdown table row."""
+    return set(re.findall(r"^\|\s*`([^`|]+)`", section, flags=re.MULTILINE))
+
+
+class TestObservabilityContract:
+    """The documented lists are diffed against the schema, both ways."""
+
+    def test_event_taxonomy_matches_code(self):
+        documented = _table_names(_section(DOC.read_text(), "Event taxonomy"))
+        in_code = {cls.__name__ for cls in EVENT_TYPES}
+        assert documented == in_code, (
+            f"docs-only: {documented - in_code}; "
+            f"undocumented: {in_code - documented}"
+        )
+
+    def test_run_record_fields_match_schema(self):
+        documented = _table_names(_section(DOC.read_text(), "Run record fields"))
+        assert documented == set(RUN_FIELDS), (
+            f"docs-only: {documented - set(RUN_FIELDS)}; "
+            f"undocumented: {set(RUN_FIELDS) - documented}"
+        )
+
+    def test_metric_fields_match_schema(self):
+        documented = _table_names(_section(DOC.read_text(), "Metric fields"))
+        assert documented == set(METRIC_FIELDS), (
+            f"docs-only: {documented - set(METRIC_FIELDS)}; "
+            f"undocumented: {set(METRIC_FIELDS) - documented}"
+        )
+
+    def test_bench_runs_cover_only_documented_fields(self):
+        """A real quick-matrix record stays inside the documented schema."""
+        from repro.obs.bench import QUICK_MATRIX, run_mcs_bench
+
+        record = run_mcs_bench(QUICK_MATRIX[0])
+        assert set(record) <= set(RUN_FIELDS)
+        assert set(record["metrics"]) <= set(METRIC_FIELDS)
+
+
+def _resolve_module_ref(ref: str) -> bool:
+    """True iff a dotted ``repro.…`` reference resolves to a module or an
+    attribute chain hanging off one."""
+    parts = ref.split(".")
+    obj = None
+    for i in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:i]))
+        except ImportError:
+            continue
+        for attr in parts[i:]:
+            obj = getattr(obj, attr, None)
+            if obj is None:
+                return False
+        return True
+    return False
+
+
+def _candidate_paths(ref: str):
+    yield REPO / ref
+    yield REPO / "src" / "repro" / ref
+    yield REPO / "docs" / ref
+    yield REPO / "tests" / ref
+    yield REPO / "benchmarks" / ref
+
+
+@pytest.mark.parametrize("page", DOC_PAGES, ids=lambda p: p.name)
+def test_docs_cross_references_resolve(page):
+    """Every backticked ``repro.…`` dotted reference and every backticked
+    ``*.py`` / ``*.md`` path in the docs must point at something real."""
+    text = page.read_text()
+    broken = []
+    for token in re.findall(r"`([^`\n]+)`", text):
+        token = token.strip().rstrip("()")
+        if re.fullmatch(r"repro(\.[A-Za-z_][A-Za-z0-9_]*)+", token):
+            if not _resolve_module_ref(token):
+                broken.append(token)
+        elif re.fullmatch(r"[\w./-]+\.(py|md)", token):
+            if not any(p.exists() for p in _candidate_paths(token)):
+                broken.append(token)
+    assert not broken, f"{page.name}: dangling references: {broken}"

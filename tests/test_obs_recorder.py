@@ -1,0 +1,271 @@
+"""Tests for the obs subsystem: recorder, collectors, export, bench CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import get_solver, greedy_covering_schedule
+from repro.deployment import Scenario
+from repro.obs import (
+    EVENT_TYPES,
+    NULL_RECORDER,
+    CandidateEvaluation,
+    Recorder,
+    RunCollector,
+    SlotEnd,
+    SlotStart,
+    TraceRecorder,
+    get_recorder,
+    load_bench,
+    merge_run,
+    recording,
+    run_record,
+    set_recorder,
+    validate_run,
+)
+from repro.obs.bench import QUICK_MATRIX, run_mcs_bench, run_oneshot_bench
+
+SMALL = Scenario(
+    num_readers=10,
+    num_tags=80,
+    side=40.0,
+    lambda_interference=8,
+    lambda_interrogation=5,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return SMALL.build()
+
+
+class _BoobyTrap(Recorder):
+    """Disabled recorder whose emit must never be reached."""
+
+    enabled = False
+
+    def emit(self, event):
+        raise AssertionError(f"disabled recorder received {event!r}")
+
+
+class TestNullRecorderOverhead:
+    def test_default_recorder_is_null_and_disabled(self):
+        assert get_recorder() is NULL_RECORDER
+        assert not get_recorder().enabled
+
+    def test_null_emit_is_noop(self):
+        NULL_RECORDER.emit(SlotStart(slot=0, unread_tags=1))  # must not raise
+
+    def test_disabled_recorder_never_computes(self, system):
+        """The whole instrumented stack must skip event construction when
+        tracing is off — a booby-trapped disabled recorder proves no site
+        calls emit()."""
+        with recording(_BoobyTrap()):
+            schedule = greedy_covering_schedule(
+                system, get_solver("exact"), linklayer="aloha", seed=0
+            )
+        assert schedule.complete
+
+    def test_disabled_path_matches_traced_results(self, system):
+        """Tracing must be purely observational: identical schedules with
+        and without a collector installed."""
+        plain = greedy_covering_schedule(system, get_solver("ptas", k=2), seed=0)
+        with recording(RunCollector()):
+            traced = greedy_covering_schedule(
+                system, get_solver("ptas", k=2), seed=0
+            )
+        assert plain.reads_per_slot() == traced.reads_per_slot()
+        assert plain.complete == traced.complete
+
+
+class TestRecorderInstallation:
+    def test_recording_restores_previous(self):
+        outer = TraceRecorder()
+        with recording(outer):
+            assert get_recorder() is outer
+            with recording(TraceRecorder()) as inner:
+                assert get_recorder() is inner
+            assert get_recorder() is outer
+        assert get_recorder() is NULL_RECORDER
+
+    def test_recording_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with recording(TraceRecorder()):
+                raise RuntimeError("boom")
+        assert get_recorder() is NULL_RECORDER
+
+    def test_set_recorder_none_restores_null(self):
+        previous = set_recorder(TraceRecorder())
+        assert previous is NULL_RECORDER
+        set_recorder(None)
+        assert get_recorder() is NULL_RECORDER
+
+    def test_trace_recorder_keeps_event_order(self, system):
+        with recording(TraceRecorder()) as rec:
+            greedy_covering_schedule(system, get_solver("exact"), seed=0)
+        kinds = [type(e) for e in rec.events]
+        assert kinds.index(SlotStart) < kinds.index(SlotEnd)
+        assert all(isinstance(e, EVENT_TYPES) for e in rec.events)
+
+
+class TestRunCollector:
+    def test_schedule_aggregation_matches_result(self, system):
+        with recording(RunCollector()) as col:
+            schedule = greedy_covering_schedule(system, get_solver("exact"), seed=0)
+        assert col.counters["slots"] == schedule.size
+        assert col.counters["tags_read"] == schedule.tags_read_total
+        assert col.counters["solver_calls"] == schedule.size
+        assert col.tags_per_slot == schedule.reads_per_slot()
+        assert col.schedule_complete == schedule.complete
+        assert col.counters["sets_evaluated"] > 0
+        assert len(col.sets_per_slot) == schedule.size
+        assert sum(col.sets_per_slot) == col.counters["sets_evaluated"]
+        assert col.solver_times.count("exact") == schedule.size
+        assert col.solver_wall_clock_s > 0.0
+
+    def test_linklayer_events_aggregate(self, system):
+        with recording(RunCollector()) as col:
+            schedule = greedy_covering_schedule(
+                system, get_solver("exact"), linklayer="aloha", seed=0
+            )
+        assert col.counters["linklayer_micro_slots"] == schedule.total_micro_slots
+        assert col.counters["linklayer_work"] >= col.counters["linklayer_micro_slots"]
+
+    def test_distributed_solver_emits_distsim_rounds(self, system):
+        with recording(RunCollector()) as col:
+            get_solver("distributed")(system, None, 0)
+        assert col.counters["distsim_rounds"] > 0
+        assert col.counters["distsim_messages"] > 0
+
+    def test_sets_by_context_contexts(self, system):
+        with recording(RunCollector()) as col:
+            get_solver("ptas", k=2)(system, None, 0)
+            get_solver("localsearch", iterations=50, restarts=1)(system, None, 0)
+        assert "ptas.dp_cells" in col.sets_by_context
+        assert "exact.bnb" in col.sets_by_context  # PTAS leaf solves
+        assert "localsearch.moves" in col.sets_by_context
+        assert sum(col.sets_by_context.values()) == col.counters["sets_evaluated"]
+
+    def test_sweep_points_recorded(self):
+        from repro.experiments.sweep import run_sweep
+
+        with recording(RunCollector()) as col:
+            run_sweep("x", [1.0, 2.0], lambda v, s: {"m": v + s}, seeds=[0, 1])
+        assert col.counters["sweep_points"] == 4
+        assert col.sweep_times.count("x") == 4
+
+    def test_unknown_events_ignored(self):
+        col = RunCollector()
+        col.emit(object())  # must not raise
+        assert col.counters["slots"] == 0
+
+    def test_collector_counts_outside_slots(self):
+        col = RunCollector()
+        col.emit(CandidateEvaluation(context="exact.bnb", count=5))
+        assert col.counters["sets_evaluated"] == 5
+        assert col.sets_per_slot == []
+
+
+class TestExport:
+    def _record(self, bench="mcs"):
+        point = QUICK_MATRIX[0]
+        return run_mcs_bench(point) if bench == "mcs" else run_oneshot_bench(point)
+
+    def test_run_record_is_schema_valid(self):
+        validate_run(self._record("mcs"))
+        validate_run(self._record("oneshot"))
+
+    def test_validate_rejects_missing_field(self):
+        record = self._record()
+        del record["solver"]
+        with pytest.raises(ValueError, match="missing fields"):
+            validate_run(record)
+
+    def test_validate_rejects_undeclared_metric(self):
+        record = self._record()
+        record["metrics"]["made_up"] = 1
+        with pytest.raises(ValueError, match="undeclared"):
+            validate_run(record)
+
+    def test_validate_rejects_missing_required_metric(self):
+        record = self._record()
+        del record["metrics"]["slots_to_completion"]
+        with pytest.raises(ValueError, match="required metrics"):
+            validate_run(record)
+
+    def test_merge_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "BENCH_mcs.json"
+        record = self._record()
+        merge_run(path, record)
+        merge_run(path, self._record())
+        data = load_bench(path)
+        assert data["benchmark"] == "mcs"
+        assert len(data["runs"]) == 2
+        assert data["runs"][0] == record  # JSON round-trip preserves fields
+
+    def test_merge_rejects_family_mismatch(self, tmp_path):
+        path = tmp_path / "BENCH_mcs.json"
+        merge_run(path, self._record("mcs"))
+        with pytest.raises(ValueError, match="cannot merge"):
+            merge_run(path, self._record("oneshot"))
+
+    def test_load_rejects_future_version(self, tmp_path):
+        path = tmp_path / "BENCH_mcs.json"
+        merge_run(path, self._record())
+        data = json.loads(path.read_text())
+        data["version"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="unsupported"):
+            load_bench(path)
+
+    def test_run_record_builder_validates(self):
+        with pytest.raises(ValueError):
+            run_record(
+                bench="mcs",
+                label="x",
+                solver="ptas",
+                scenario={},
+                metrics={},  # missing required metrics
+                wall_clock_s=0.0,
+            )
+
+
+@pytest.mark.bench_smoke
+class TestBenchCli:
+    def test_quick_matrix_emits_schema_valid_bench_files(self, tmp_path, capsys):
+        assert main(["bench", "--quick", "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "appended 3 oneshot runs" in out
+        assert "appended 3 mcs runs" in out
+        for family, required in (
+            ("oneshot", ("weight", "solver_wall_clock_s", "sets_evaluated")),
+            ("mcs", ("slots_to_completion", "solver_wall_clock_s", "sets_evaluated")),
+        ):
+            data = load_bench(tmp_path / f"BENCH_{family}.json")
+            assert len(data["runs"]) >= 3
+            labels = {r["label"] for r in data["runs"]}
+            assert len(labels) >= 3  # at least 3 distinct scenario points
+            for run in data["runs"]:
+                for metric in required:
+                    assert metric in run["metrics"], (family, metric)
+
+    def test_bench_appends_across_invocations(self, tmp_path, capsys):
+        assert main(["bench", "--quick", "--out-dir", str(tmp_path)]) == 0
+        assert main(["bench", "--quick", "--out-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        data = load_bench(tmp_path / "BENCH_mcs.json")
+        assert len(data["runs"]) == 6
+
+    def test_dry_run_writes_nothing(self, tmp_path, capsys):
+        assert main(["bench", "--quick", "--dry-run", "--out-dir", str(tmp_path)]) == 0
+        assert "dry run" in capsys.readouterr().out
+        assert not list(tmp_path.iterdir())
+
+    def test_pinned_seeds_reproduce_work_counters(self):
+        a = run_mcs_bench(QUICK_MATRIX[0])
+        b = run_mcs_bench(QUICK_MATRIX[0])
+        for key in ("slots_to_completion", "sets_evaluated", "tags_per_slot",
+                    "rrc_blocked", "rtc_silenced"):
+            assert a["metrics"][key] == b["metrics"][key]
