@@ -14,12 +14,13 @@ baseline.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.core.oneshot import OneShotResult, make_result
 from repro.model.system import RFIDSystem
+from repro.perf.incremental import GeneralizedWeightClimber
 from repro.util.rng import RngLike
 
 
@@ -51,14 +52,13 @@ def greedy_hill_climbing(
     if gain_mode not in ("weight", "coverage"):
         raise ValueError(f"gain_mode must be 'weight' or 'coverage', got {gain_mode!r}")
     n = system.num_readers
-    active: List[int] = []
+    # The climber carries the once/multi coverage masks and the operational
+    # (RTc) state across the whole climb, so each candidate evaluation is a
+    # few big-int operations; weight_with(r) is bit-identical to
+    # system.weight(active + [r], unread).
+    climber = GeneralizedWeightClimber(system, unread)
     current_w = 0
     in_set = np.zeros(n, dtype=bool)
-    if unread is not None:
-        unread_arr = np.asarray(unread, dtype=bool)
-    else:
-        unread_arr = np.ones(system.num_tags, dtype=bool)
-    covered = np.zeros(system.num_tags, dtype=bool)
 
     while True:
         best_gain = 0
@@ -67,13 +67,13 @@ def greedy_hill_climbing(
         for r in range(n):
             if in_set[r]:
                 continue
-            if require_feasible and active and system.conflict[r, active].any():
+            if require_feasible and climber.active and climber.conflicts_with_active(r):
                 continue
             if gain_mode == "weight":
-                w = system.weight(active + [r], unread)
+                w = climber.weight_with(r)
                 gain = w - current_w
             else:
-                gain = int((system.coverage[:, r] & unread_arr & ~covered).sum())
+                gain = climber.new_coverage(r)
                 w = None
             if gain > best_gain:
                 best_gain = gain
@@ -83,18 +83,17 @@ def greedy_hill_climbing(
             break
         if gain_mode == "coverage":
             # Collision-naive: only an actual weight drop stops the climb.
-            w_after = system.weight(active + [best_reader], unread)
+            w_after = climber.weight_with(best_reader)
             if w_after < current_w:
                 break
             best_weight = w_after
-            covered |= system.coverage[:, best_reader]
-        active.append(best_reader)
+        climber.add(best_reader)
         in_set[best_reader] = True
         current_w = best_weight
 
     return make_result(
         system,
-        active,
+        climber.active,
         unread,
         solver="ghc",
         require_feasible=require_feasible,

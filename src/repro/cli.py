@@ -126,6 +126,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run and print the matrix without touching the BENCH files",
     )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run bench jobs on N forked processes (-1 = CPU count); "
+        "work counters are identical to a serial run",
+    )
     return parser
 
 
@@ -270,7 +277,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"running {'quick' if args.quick else 'full'} benchmark matrix "
         f"({len(matrix)} scenario points, oneshot + mcs)"
     )
-    records = run_bench_matrix(matrix)
+    records = run_bench_matrix(matrix, workers=args.workers)
     print(format_bench_table(records))
     if args.dry_run:
         print("dry run: BENCH files not written")

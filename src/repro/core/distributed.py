@@ -39,6 +39,7 @@ from repro.distsim.flooding import FloodMessage, FloodService, ReliableFloodServ
 from repro.model.interference import adjacency_lists
 from repro.model.system import RFIDSystem
 from repro.model.weights import BitsetWeightOracle
+from repro.util.compat import bit_count
 from repro.util.rng import RngLike
 from repro.util.validation import check_in_range
 
@@ -76,7 +77,7 @@ class SchedulerNode(Node):
     ):
         super().__init__(node_id)
         self.cover_mask = int(cover_mask)
-        self.weight = int(bin(self.cover_mask).count("1"))
+        self.weight = bit_count(self.cover_mask)
         self.rho = float(rho)
         self.c = int(c)
         # On loss-free links a TTL-h flood completes in exactly h rounds;

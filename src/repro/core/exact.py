@@ -28,6 +28,7 @@ from repro.core.oneshot import OneShotResult, make_result
 from repro.model.system import RFIDSystem
 from repro.model.weights import BitsetWeightOracle
 from repro.obs.events import CandidateEvaluation, get_recorder
+from repro.perf.cache import conflict_bits
 from repro.util.rng import RngLike
 
 
@@ -142,12 +143,12 @@ def exact_mwfs(
         candidates = range(system.num_readers)
     if oracle is None:
         oracle = BitsetWeightOracle(system, unread)
-    conflict = system.conflict
+    adj = conflict_bits(system)
 
     best_set, best_weight, exhausted = solve_mwfs_masks(
         candidates,
         oracle,
-        lambda i, j: bool(conflict[i, j]),
+        lambda i, j: bool(adj[i] >> j & 1),
         max_nodes=max_nodes,
     )
     if exhausted and on_budget == "raise":
@@ -185,11 +186,11 @@ def weighted_mwfs(
     if candidates is None:
         candidates = range(system.num_readers)
     oracle = WeightedTagOracle(system, tag_values, unread)
-    conflict = system.conflict
+    adj = conflict_bits(system)
     best_set, best_value, exhausted = solve_mwfs_masks(
         candidates,
         oracle,
-        lambda i, j: bool(conflict[i, j]),
+        lambda i, j: bool(adj[i] >> j & 1),
         max_nodes=max_nodes,
     )
     return make_result(

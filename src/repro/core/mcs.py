@@ -91,8 +91,10 @@ class ScheduleResult:
 def _best_singleton(
     system: RFIDSystem, unread: np.ndarray
 ) -> Optional[int]:
-    """Reader covering the most unread tags, or None if nothing is covered."""
-    counts = (system.coverage & unread[:, None]).sum(axis=0)
+    """Reader covering the most unread tags, or None if nothing is covered.
+    Popcounts over the packed coverage words replace the ``(m, n)`` mask
+    product; ties break to the lowest reader id, as before."""
+    counts = system.packed_coverage.covered_counts(unread)
     if counts.size == 0 or counts.max() == 0:
         return None
     return int(np.argmax(counts))

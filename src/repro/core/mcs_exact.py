@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.model.system import RFIDSystem
+from repro.util.compat import bit_count
 
 
 class McsSearchExploded(RuntimeError):
@@ -93,7 +94,7 @@ def exact_covering_schedule(
         if mask:
             action_masks.append((action, mask))
     # Dominance pruning: drop actions whose mask is a subset of another's.
-    action_masks.sort(key=lambda am: -bin(am[1]).count("1"))
+    action_masks.sort(key=lambda am: -bit_count(am[1]))
     kept: List[Tuple[Tuple[int, ...], int]] = []
     for action, mask in action_masks:
         if not any(mask | other == other for _, other in kept):

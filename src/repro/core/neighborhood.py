@@ -32,6 +32,7 @@ from repro.core.oneshot import OneShotResult, make_result
 from repro.model.interference import adjacency_lists
 from repro.model.system import RFIDSystem
 from repro.model.weights import BitsetWeightOracle
+from repro.perf.cache import conflict_bits
 from repro.util.rng import RngLike
 from repro.util.validation import check_in_range
 
@@ -86,7 +87,7 @@ def centralized_location_free(
     if oracle is None:
         oracle = BitsetWeightOracle(system, unread)
     adj = adjacency_lists(system)
-    conflict = system.conflict
+    conflict_rows = conflict_bits(system)
 
     alive: Set[int] = set(range(n))
     solution: List[int] = []
@@ -96,7 +97,7 @@ def centralized_location_free(
         best, _w, _ex = solve_mwfs_masks(
             candidates,
             oracle,
-            lambda i, j: bool(conflict[i, j]),
+            lambda i, j: bool(conflict_rows[i] >> j & 1),
             max_nodes=ball_node_budget,
         )
         return best

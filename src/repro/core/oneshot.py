@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.model.system import RFIDSystem
 from repro.obs.events import SolverCall, get_recorder
+from repro.perf.incremental import GeneralizedWeightClimber
 from repro.util.rng import RngLike
 
 
@@ -47,11 +48,18 @@ def make_result(
     **meta,
 ) -> OneShotResult:
     """Assemble an :class:`OneShotResult`, computing weight and feasibility
-    from the system so solvers cannot misreport."""
+    from the system so solvers cannot misreport.
+
+    The weight comes from the packed generalised-weight engine, which is
+    property-tested bit-identical to the NumPy reference
+    :meth:`RFIDSystem.weight` on feasible and infeasible sets alike."""
     idx = system._normalize_active(active)
+    climber = GeneralizedWeightClimber(system, unread)
+    for i in idx:
+        climber.add(int(i))
     return OneShotResult(
         active=idx,
-        weight=system.weight(idx, unread),
+        weight=climber.current_weight(),
         feasible=system.is_feasible(idx),
         meta=dict(meta),
     )

@@ -38,18 +38,26 @@ from repro.geometry.shifting import ShiftedHierarchy, Square, scale_radii
 from repro.model.system import RFIDSystem
 from repro.model.weights import BitsetWeightOracle
 from repro.obs.events import CandidateEvaluation, get_recorder
+from repro.perf.cache import conflict_bits, system_memo
+from repro.perf.packed import pack_square_bool
 from repro.util.rng import RngLike
 
 
 def _enumerate_independent_subsets(
     cands: Sequence[int],
-    conflict: np.ndarray,
+    conflict,
     max_size: Optional[int],
     budget: int,
 ) -> Iterator[Tuple[int, ...]]:
     """Yield pairwise-independent subsets of *cands* (the empty set first),
     include-first DFS so large/promising subsets appear early; stops after
-    *budget* subsets."""
+    *budget* subsets.  *conflict* is either a boolean adjacency matrix or
+    its packed per-reader bitmask rows (what the DP passes)."""
+    adj = (
+        pack_square_bool(conflict)
+        if isinstance(conflict, np.ndarray)
+        else conflict
+    )
     yielded = 0
 
     def rec(prefix: List[int], pool: List[int]) -> Iterator[Tuple[int, ...]]:
@@ -64,7 +72,7 @@ def _enumerate_independent_subsets(
             if yielded >= budget:
                 return
             compatible = [
-                c for c in pool[pos + 1 :] if not conflict[head, c]
+                c for c in pool[pos + 1 :] if not adj[head] >> c & 1
             ]
             prefix.append(head)
             yield from rec(prefix, compatible)
@@ -73,22 +81,47 @@ def _enumerate_independent_subsets(
     yield from rec([], list(cands))
 
 
+def _build_square_index(hierarchy: ShiftedHierarchy):
+    """Unread-independent square index of one shifting: ``own[S]`` = survive
+    disks of level ``S.level`` inside ``S`` (survive order), ``occupied[S]``
+    = survive disks of level ≥ ``S.level`` inside ``S``, plus the sorted
+    relevant level-0 squares.  Pure geometry — cached per
+    ``(system, k, r, s)`` and reused across MCS slots."""
+    own: Dict[Square, Tuple[int, ...]] = {}
+    occupied: Dict[Square, int] = {}
+    tops = set()
+    for i in hierarchy.survive_indices():
+        i = int(i)
+        li = int(hierarchy.levels[i])
+        center = hierarchy.centers[i]
+        for lev in range(0, li + 1):
+            sq = hierarchy.square_at(lev, center)
+            occupied[sq] = occupied.get(sq, 0) + 1
+            if lev == li:
+                own[sq] = own.get(sq, ()) + (i,)
+            if lev == 0:
+                tops.add(sq)
+    return own, occupied, sorted(tops)
+
+
 class _ShiftDP:
     """Dynamic program for one ``(r, s)``-shifting."""
 
     def __init__(
         self,
         hierarchy: ShiftedHierarchy,
+        index,
         oracle: BitsetWeightOracle,
-        conflict: np.ndarray,
+        adj: Sequence[int],
         max_d_size: Optional[int],
         enum_budget: int,
         leaf_node_budget: int,
         call_budget: int,
+        intersect_memo: Dict[Tuple[int, Square], bool],
     ):
         self.h = hierarchy
         self.oracle = oracle
-        self.conflict = conflict
+        self.adj = adj
         self.max_d_size = max_d_size
         self.enum_budget = enum_budget
         self.leaf_node_budget = leaf_node_budget
@@ -96,28 +129,16 @@ class _ShiftDP:
         self.calls = 0
         self.budget_exhausted = False
         self.memo: Dict[Tuple[Square, FrozenSet[int]], Tuple[int, ...]] = {}
+        self._intersects = intersect_memo
 
-        # Index survive disks by square: `own[S]` = survive disks whose level
-        # equals S.level and that lie inside S; `deeper[S]` = True iff S
-        # contains a survive disk of level >= S.level (drives relevance).
-        self.own: Dict[Square, List[int]] = {}
-        self.occupied: Dict[Square, int] = {}
-        tops = set()
-        for i in hierarchy.survive_indices():
-            i = int(i)
-            li = int(hierarchy.levels[i])
-            center = hierarchy.centers[i]
-            for lev in range(0, li + 1):
-                sq = hierarchy.square_at(lev, center)
-                self.occupied[sq] = self.occupied.get(sq, 0) + 1
-                if lev == li:
-                    self.own.setdefault(sq, []).append(i)
-                if lev == 0:
-                    tops.add(sq)
-        # Sort own-lists by decreasing solo weight for enumeration quality.
-        for sq, lst in self.own.items():
-            lst.sort(key=lambda d: (-oracle.solo_weight(d), d))
-        self.top_squares = sorted(tops)
+        # The square index is cached geometry (see _build_square_index); only
+        # the own-list ordering — decreasing solo weight for enumeration
+        # quality — depends on the current unread mask, so re-sort per solve.
+        own_static, self.occupied, self.top_squares = index
+        self.own: Dict[Square, List[int]] = {
+            sq: sorted(lst, key=lambda d: (-oracle.solo_weight(d), d))
+            for sq, lst in own_static.items()
+        }
 
     # ------------------------------------------------------------------
     def solve(self) -> List[int]:
@@ -138,8 +159,17 @@ class _ShiftDP:
     def _compatible(self, disks: Sequence[int], interface: FrozenSet[int]) -> List[int]:
         if not interface:
             return list(disks)
-        iface = list(interface)
-        return [d for d in disks if not self.conflict[d, iface].any()]
+        iface_bits = 0
+        for i in interface:
+            iface_bits |= 1 << i
+        return [d for d in disks if not self.adj[d] & iface_bits]
+
+    def _disk_intersects(self, i: int, sq: Square) -> bool:
+        key = (i, sq)
+        hit = self._intersects.get(key)
+        if hit is None:
+            hit = self._intersects[key] = self.h.disk_intersects_square(i, sq)
+        return hit
 
     def mwfs(self, sq: Square, interface: FrozenSet[int]) -> Tuple[int, ...]:
         key = (sq, interface)
@@ -156,7 +186,7 @@ class _ShiftDP:
             best, _w, exhausted = solve_mwfs_masks(
                 own_ok,
                 self.oracle,
-                lambda i, j: bool(self.conflict[i, j]),
+                lambda i, j: bool(self.adj[i] >> j & 1),
                 max_nodes=self.leaf_node_budget,
             )
             self.budget_exhausted |= exhausted
@@ -175,7 +205,7 @@ class _ShiftDP:
             bb_best, _w, exhausted = solve_mwfs_masks(
                 own_ok,
                 self.oracle,
-                lambda i, j: bool(self.conflict[i, j]),
+                lambda i, j: bool(self.adj[i] >> j & 1),
                 max_nodes=self.leaf_node_budget,
             )
             self.budget_exhausted |= exhausted
@@ -183,7 +213,7 @@ class _ShiftDP:
         seen = set(candidates)
         budget = 1 if over_budget else self.enum_budget
         for d in _enumerate_independent_subsets(
-            own_ok, self.conflict, self.max_d_size, budget
+            own_ok, self.adj, self.max_d_size, budget
         ):
             d = tuple(sorted(d))
             if d not in seen:
@@ -199,7 +229,7 @@ class _ShiftDP:
             merged = interface | set(d)
             for child in kids:
                 child_iface = frozenset(
-                    i for i in merged if self.h.disk_intersects_square(i, child)
+                    i for i in merged if self._disk_intersects(i, child)
                 )
                 x.extend(self.mwfs(child, child_iface))
             w = self.oracle.weight_of(x)
@@ -253,7 +283,7 @@ def ptas_mwfs(
     radii = system.interference_radii
     scaled_radii, factor = scale_radii(radii)
     scaled_centers = system.reader_positions * factor
-    conflict = system.conflict
+    adj = conflict_bits(system)
 
     if shifts is None:
         shifts = [(r, s) for r in range(k) for s in range(k)]
@@ -264,15 +294,31 @@ def ptas_mwfs(
     best_shift = None
     any_exhausted = False
     for (r, s) in shifts:
-        hierarchy = ShiftedHierarchy(scaled_centers, scaled_radii, k, r, s)
+        # The shifted subdivision, its square index and disk-vs-square
+        # intersection tests are pure geometry — independent of the unread
+        # mask — so they are cached per (system, k, r, s) and shared by
+        # every slot of an MCS run.
+        hierarchy = system_memo(
+            system,
+            ("ptas.hier", k, r, s),
+            lambda: ShiftedHierarchy(scaled_centers, scaled_radii, k, r, s),
+        )
+        index = system_memo(
+            system,
+            ("ptas.index", k, r, s),
+            lambda: _build_square_index(hierarchy),
+        )
+        intersect_memo = system_memo(system, ("ptas.intersect", k, r, s), dict)
         dp = _ShiftDP(
             hierarchy,
+            index,
             oracle,
-            conflict,
+            adj,
             max_d_size,
             enum_budget,
             leaf_node_budget,
             call_budget,
+            intersect_memo,
         )
         candidate = dp.solve()
         any_exhausted |= dp.budget_exhausted
@@ -283,7 +329,7 @@ def ptas_mwfs(
             # Polish per shift: the survive filter discards different disks
             # per (r, s), so each shift benefits from its own augmentation
             # before the max is taken.
-            candidate, w = _polish(list(candidate), w, oracle, conflict, n)
+            candidate, w = _polish(list(candidate), w, oracle, adj, n)
         if w > best_weight:
             best_weight = w
             best_set = candidate
@@ -317,7 +363,7 @@ def _polish(
     base: List[int],
     base_weight: int,
     oracle: BitsetWeightOracle,
-    conflict: np.ndarray,
+    adj: Sequence[int],
     n: int,
 ) -> Tuple[List[int], int]:
     """Greedy feasible augmentation: repeatedly add the independent reader
@@ -327,11 +373,22 @@ def _polish(
     back whichever of them still fits can only increase the weight, so the
     ``(1 − 1/k)²`` guarantee of Theorem 2 is preserved while the practical
     quality improves substantially (reported as ``meta['polish_gain']``).
+
+    The chosen set's once/multi coverage state lives in the oracle across
+    the whole climb (push per accepted reader, ``weight_with`` per
+    candidate), so evaluating a candidate costs O(m/64) instead of
+    O(|chosen|·m/64); the returned weights equal ``weight_of(chosen + [r])``
+    exactly.
     """
     chosen = list(base)
     weight = base_weight
     in_set = np.zeros(n, dtype=bool)
     in_set[chosen] = True
+    chosen_bits = 0
+    oracle.reset()
+    for c in chosen:
+        chosen_bits |= 1 << c
+        oracle.push(c)
     improved = True
     while improved:
         improved = False
@@ -341,9 +398,9 @@ def _polish(
         for r in range(n):
             if in_set[r]:
                 continue
-            if chosen and conflict[r, chosen].any():
+            if adj[r] & chosen_bits:
                 continue
-            w = oracle.weight_of(chosen + [r])
+            w = oracle.weight_with(r)
             if w - weight > best_gain:
                 best_gain = w - weight
                 best_r = r
@@ -351,6 +408,9 @@ def _polish(
         if best_r is not None:
             chosen.append(best_r)
             in_set[best_r] = True
+            chosen_bits |= 1 << best_r
+            oracle.push(best_r)
             weight = best_w
             improved = True
+    oracle.reset()
     return sorted(chosen), weight

@@ -4,16 +4,25 @@ A sweep varies one scalar parameter over a list of values; at each value the
 ``measure`` callback runs once per seed and returns a ``{metric: value}``
 dict (one metric per algorithm, typically).  Results are aggregated per
 (metric, value) into :class:`~repro.experiments.metrics.SeriesStats`.
+
+``workers=N`` runs the grid points on forked worker processes.  Each point
+is seeded by its own ``(value, seed)`` pair — never by execution order — and
+results are merged back in grid order (values outer, seeds inner), so
+``SweepResult.raw`` is byte-identical to a serial run.  Telemetry caveat:
+events emitted *inside* ``measure`` stay in the worker and are discarded;
+the per-point ``SweepPoint`` events are emitted in the parent either way
+(see ``docs/performance.md``).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.metrics import SeriesStats, aggregate
 from repro.obs.events import SweepPoint, get_recorder
+from repro.perf.parallel import fork_map
 
 Measure = Callable[[float, int], Mapping[str, float]]
 
@@ -42,44 +51,58 @@ def run_sweep(
     param_values: Sequence[float],
     measure: Measure,
     seeds: Sequence[int],
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """Run *measure* over the grid ``param_values × seeds`` and aggregate.
 
     ``measure(value, seed)`` must return the same metric keys at every grid
     point (enforced), so the resulting series are rectangular.
+
+    Parameters
+    ----------
+    workers:
+        ``None``/``1`` runs serially (default); ``N > 1`` runs grid points
+        on up to ``N`` forked processes, merging in grid order so the raw
+        samples match the serial run byte-for-byte; ``-1`` uses the CPU
+        count.  Falls back to serial where ``fork`` is unavailable.
     """
     if not param_values:
         raise ValueError("param_values must be non-empty")
     if not seeds:
         raise ValueError("seeds must be non-empty")
 
+    grid = [(value, seed) for value in param_values for seed in seeds]
+
+    def run_point(point):
+        value, seed = point
+        t0 = time.perf_counter()
+        sample = measure(value, seed)
+        return dict(sample), time.perf_counter() - t0
+
+    outcomes = fork_map(run_point, grid, workers)
+
     rec = get_recorder()
     raw: Dict[Tuple[str, float], List[float]] = {}
     metric_names: List[str] = []
-    for value in param_values:
-        for seed in seeds:
-            if rec.enabled:
-                t0 = time.perf_counter()
-                sample = measure(value, seed)
-                rec.emit(
-                    SweepPoint(
-                        param=param_name,
-                        value=float(value),
-                        seed=int(seed),
-                        seconds=time.perf_counter() - t0,
-                    )
+    for (value, seed), (sample, seconds) in zip(grid, outcomes):
+        if rec.enabled:
+            rec.emit(
+                SweepPoint(
+                    param=param_name,
+                    value=float(value),
+                    seed=int(seed),
+                    seconds=seconds,
                 )
-            else:
-                sample = measure(value, seed)
-            if not metric_names:
-                metric_names = list(sample)
-            elif set(sample) != set(metric_names):
-                raise ValueError(
-                    f"measure returned inconsistent metrics at "
-                    f"{param_name}={value}: {sorted(sample)} vs {sorted(metric_names)}"
-                )
-            for metric, obs in sample.items():
-                raw.setdefault((metric, value), []).append(float(obs))
+            )
+        if not metric_names:
+            metric_names = list(sample)
+        elif set(sample) != set(metric_names):
+            raise ValueError(
+                f"measure returned inconsistent metrics at "
+                f"{param_name}={value}: {sorted(sample)} vs {sorted(metric_names)}"
+            )
+        for metric, obs in sample.items():
+            raw.setdefault((metric, value), []).append(float(obs))
 
     stats = {key: aggregate(vals) for key, vals in raw.items()}
     return SweepResult(

@@ -32,10 +32,15 @@ class SpatialHashGrid:
     def __init__(self, points: np.ndarray, cell_size: float):
         self._points = as_points(points, "points")
         self._cell = check_positive("cell_size", cell_size)
-        self._buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        lists: Dict[Tuple[int, int], List[int]] = defaultdict(list)
         keys = np.floor(self._points / self._cell).astype(np.int64)
         for idx, (kx, ky) in enumerate(keys):
-            self._buckets[(int(kx), int(ky))].append(idx)
+            lists[(int(kx), int(ky))].append(idx)
+        # Freeze buckets as index arrays; insertion order is ascending, so
+        # each bucket is already sorted and queries need no per-bucket sort.
+        self._buckets: Dict[Tuple[int, int], np.ndarray] = {
+            key: np.asarray(idxs, dtype=np.int64) for key, idxs in lists.items()
+        }
 
     def __len__(self) -> int:
         return len(self._points)
@@ -66,19 +71,22 @@ class SpatialHashGrid:
         if radius < 0:
             raise ValueError(f"radius must be >= 0, got {radius}")
         ox, oy = float(origin[0]), float(origin[1])
-        candidates: List[int] = []
+        parts: List[np.ndarray] = []
         for key in self._cells_overlapping(origin, radius):
             bucket = self._buckets.get(key)
-            if bucket:
-                candidates.extend(bucket)
-        if not candidates:
+            if bucket is not None:
+                parts.append(bucket)
+        if not parts:
             return np.empty(0, dtype=np.int64)
-        cand = np.asarray(sorted(candidates), dtype=np.int64)
+        # A single bucket is already sorted; multiple buckets need one
+        # C-level sort of the (usually small) survivor set.
+        cand = parts[0] if len(parts) == 1 else np.concatenate(parts)
         pts = self._points[cand]
         dx = pts[:, 0] - ox
         dy = pts[:, 1] - oy
         inside = dx * dx + dy * dy <= radius * radius
-        return cand[inside]
+        hits = cand[inside]
+        return hits if len(parts) == 1 else np.sort(hits)
 
     def count_in_radius(self, origin, radius: float) -> int:
         """Number of stored points within *radius* of *origin*."""
@@ -90,14 +98,10 @@ class SpatialHashGrid:
         O(n · bucket) instead of O(n²)."""
         if radius < 0:
             raise ValueError(f"radius must be >= 0, got {radius}")
+        # Each (i, j) with j > i appears exactly once — query_radius returns
+        # distinct indices — so no dedup set is needed.
         out: List[Tuple[int, int]] = []
-        seen = set()
         for i in range(len(self._points)):
-            for j in self.query_radius(self._points[i], radius):
-                j = int(j)
-                if j <= i:
-                    continue
-                if (i, j) not in seen:
-                    seen.add((i, j))
-                    out.append((i, j))
+            hits = self.query_radius(self._points[i], radius)
+            out.extend((i, int(j)) for j in hits[hits > i])
         return out

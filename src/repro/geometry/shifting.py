@@ -71,6 +71,31 @@ def disk_levels(scaled_radii: np.ndarray, k: int) -> np.ndarray:
     return np.maximum(levels, 0)
 
 
+def _grid_floor(numerator: float, k: int) -> int:
+    """``floor(numerator / k)`` that stays consistent across levels for
+    subnormal coordinates: a negative *numerator* whose quotient underflows
+    to ``-0.0`` belongs to cell ``-1``, not ``0`` (plain ``floor`` would
+    disagree with the same point's deeper, non-underflowing levels and break
+    square nesting)."""
+    q = numerator / k
+    if q == 0.0 and numerator < 0.0:
+        return -1
+    return math.floor(q)
+
+
+def _interval_hits_lines(x: float, radius: float, sp: float, k: int, residue: int) -> bool:
+    """Whether ``[x − R, x + R)`` contains a line ``v·sp`` with
+    ``v ≡ residue (mod k)``; Python ints throughout, so deep levels with
+    huge line indices cannot overflow."""
+    lo = math.ceil((x - radius) / sp - 1e-12)
+    hi = math.floor((x + radius) / sp)
+    # exclude the right-open end: a = x + R does not hit
+    while hi * sp >= x + radius - 1e-15:
+        hi -= 1
+    # some v in [lo, hi] with v ≡ residue (mod k)?
+    return (hi - residue) // k > (lo - 1 - residue) // k
+
+
 @dataclass(frozen=True, order=True)
 class Square:
     """A ``level``-square of the shifted subdivision, addressed by the column
@@ -134,8 +159,8 @@ class ShiftedHierarchy:
         a shifted line belongs to the square on its right/top)."""
         sp = self.spacing(level)
         px, py = float(point[0]), float(point[1])
-        col = math.floor((px / sp - self.r) / self.k)
-        row = math.floor((py / sp - self.s) / self.k)
+        col = _grid_floor(px / sp - self.r, self.k)
+        row = _grid_floor(py / sp - self.s, self.k)
         return Square(int(level), int(col), int(row))
 
     def square_bounds(self, sq: Square) -> Tuple[float, float, float, float]:
@@ -179,16 +204,7 @@ class ShiftedHierarchy:
     def _hits_shifted_lines(self, x: float, radius: float, level: int, residue: int) -> bool:
         """Whether the interval ``[x − R, x + R)`` contains a shifted line
         coordinate ``v·sp`` with ``v ≡ residue (mod k)``."""
-        sp = self.spacing(level)
-        lo = math.ceil((x - radius) / sp - 1e-12)
-        hi = math.floor((x + radius) / sp)
-        # exclude the right-open end: a = x + R does not hit
-        while hi * sp >= x + radius - 1e-15:
-            hi -= 1
-        for v in range(lo, hi + 1):
-            if v % self.k == residue:
-                return True
-        return False
+        return _interval_hits_lines(x, radius, self.spacing(level), self.k, residue)
 
     def survives(self, i: int) -> bool:
         """Whether disk *i* survives this shifting (Section IV): it hits no
@@ -197,14 +213,23 @@ class ShiftedHierarchy:
         return bool(self._survive[i])
 
     def _compute_survive(self) -> np.ndarray:
-        out = np.zeros(len(self.centers), dtype=bool)
-        for i in range(len(self.centers)):
-            x, y = self.centers[i]
-            lev = int(self.levels[i])
-            rad = float(self.radii[i])
-            if self._hits_shifted_lines(float(x), rad, lev, self.r):
+        n = len(self.centers)
+        out = np.zeros(n, dtype=bool)
+        if n == 0:
+            return out
+        # One spacing per level, plain Python floats for the scalar loop.
+        spacings = {int(lev): self.spacing(int(lev)) for lev in set(self.levels.tolist())}
+        k, r, s = self.k, self.r, self.s
+        xs = self.centers[:, 0].tolist()
+        ys = self.centers[:, 1].tolist()
+        rads = self.radii.tolist()
+        levs = self.levels.tolist()
+        for i in range(n):
+            sp = spacings[levs[i]]
+            rad = rads[i]
+            if _interval_hits_lines(xs[i], rad, sp, k, r):
                 continue
-            if self._hits_shifted_lines(float(y), rad, lev, self.s):
+            if _interval_hits_lines(ys[i], rad, sp, k, s):
                 continue
             out[i] = True
         return out

@@ -86,6 +86,10 @@ class RFIDSystem:
             self._independent = np.zeros((0, 0), dtype=bool)
         self._conflict = ~self._independent
         np.fill_diagonal(self._conflict, False)
+        # lazily built packed kernels (see repro.perf); the system is
+        # immutable, so these never need invalidation
+        self._packed_coverage = None
+        self._covered_by_any = None
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -156,6 +160,19 @@ class RFIDSystem:
     def conflict(self) -> np.ndarray:
         """Symmetric interference-graph adjacency (Definition 7)."""
         return self._conflict
+
+    @property
+    def packed_coverage(self):
+        """Word-packed coverage kernels
+        (:class:`~repro.perf.packed.PackedCoverage`), built on first access
+        and cached for the system's lifetime.  This is the single
+        O(n·m) packing pass every weight oracle used to repeat per
+        construction."""
+        if self._packed_coverage is None:
+            from repro.perf.packed import PackedCoverage
+
+            self._packed_coverage = PackedCoverage(self._coverage)
+        return self._packed_coverage
 
     # ------------------------------------------------------------------
     # feasibility (Definition 2)
@@ -232,8 +249,13 @@ class RFIDSystem:
     def covered_by_any(self) -> np.ndarray:
         """Boolean mask over tags: inside at least one interrogation region
         (i.e. inside the monitored region M of Definition 4).  Tags outside M
-        can never be read by any schedule."""
-        return self._coverage.any(axis=1)
+        can never be read by any schedule.  Cached; the returned array is
+        read-only — copy before mutating."""
+        if self._covered_by_any is None:
+            mask = self._coverage.any(axis=1)
+            mask.setflags(write=False)
+            self._covered_by_any = mask
+        return self._covered_by_any
 
     def exclusive_coverage_counts(self, active: Iterable[int]) -> np.ndarray:
         """Per-active-reader count of tags it covers exclusively within the

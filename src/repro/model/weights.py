@@ -24,12 +24,7 @@ from typing import Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.model.system import RFIDSystem
-
-
-def _mask_from_bool(arr: np.ndarray) -> int:
-    """Pack a boolean vector into a Python int (bit t = tag t)."""
-    packed = np.packbits(np.asarray(arr, dtype=bool), bitorder="little")
-    return int.from_bytes(packed.tobytes(), "little")
+from repro.util.compat import bit_count
 
 
 class BitsetWeightOracle:
@@ -45,17 +40,15 @@ class BitsetWeightOracle:
     """
 
     def __init__(self, system: RFIDSystem, unread: Optional[np.ndarray] = None):
-        m = system.num_tags
+        # O(n): the per-reader masks come from the system's packed-coverage
+        # cache (built once per system) and are shared, never copied — every
+        # oracle method treats _cover as read-only.
+        packed = system.packed_coverage
         if unread is None:
-            unread_mask = (1 << m) - 1 if m else 0
+            unread_mask = packed.full_mask
         else:
-            unread = np.asarray(unread, dtype=bool)
-            if unread.shape != (m,):
-                raise ValueError(f"unread mask must have shape ({m},)")
-            unread_mask = _mask_from_bool(unread)
-        cov = system.coverage
-        cover = {i: _mask_from_bool(cov[:, i]) for i in range(system.num_readers)}
-        self._init_from_masks(cover, unread_mask)
+            unread_mask = packed.pack_mask(np.asarray(unread, dtype=bool))
+        self._init_from_masks(packed.mask_dict, unread_mask)
 
     @classmethod
     def from_masks(cls, cover_masks: dict, unread_mask: int) -> "BitsetWeightOracle":
@@ -83,7 +76,7 @@ class BitsetWeightOracle:
 
     def solo_weight(self, reader: int) -> int:
         """Weight of activating *reader* alone."""
-        return int(bin(self._cover[reader] & self._unread_mask).count("1"))
+        return bit_count(self._cover[reader] & self._unread_mask)
 
     def weight_of(self, active: Iterable[int]) -> int:
         """Weight of a feasible set, computed from scratch (no state)."""
@@ -93,7 +86,7 @@ class BitsetWeightOracle:
             c = self._cover[int(i)]
             multi |= once & c
             once = (once | c) & ~multi
-        return int(bin(once & self._unread_mask).count("1"))
+        return bit_count(once & self._unread_mask)
 
     def well_covered_mask(self, active: Iterable[int]) -> int:
         """Bitmask of unread tags covered exactly once by the feasible set."""
@@ -132,7 +125,17 @@ class BitsetWeightOracle:
 
     def current_weight(self) -> int:
         """Weight of the currently pushed set."""
-        return int(bin(self._once & self._unread_mask).count("1"))
+        return bit_count(self._once & self._unread_mask)
+
+    def weight_with(self, reader: int) -> int:
+        """Weight of the current set plus *reader*, without mutating state.
+
+        Equals ``push(reader); current_weight(); pop()`` in one call — the
+        shape of every greedy candidate scan.
+        """
+        c = self._cover[reader]
+        multi = self._multi | (self._once & c)
+        return bit_count((self._once | c) & ~multi & self._unread_mask)
 
     def upper_bound_with(self, candidates: Sequence[int]) -> int:
         """Upper bound on the weight of any extension of the current set by a
@@ -148,7 +151,7 @@ class BitsetWeightOracle:
             cand_union |= self._cover[int(i)]
         covered = self._once | self._multi
         potential = (self._once | (cand_union & ~covered)) & self._unread_mask
-        return int(bin(potential).count("1"))
+        return bit_count(potential)
 
 
 class WeightedTagOracle:

@@ -1,0 +1,37 @@
+"""Performance kernel layer.
+
+Low-level representations and execution helpers shared by the solver stack:
+
+* :mod:`repro.perf.packed` — coverage matrices packed into ``uint64`` words
+  with vectorized popcount, built once per :class:`~repro.model.system.RFIDSystem`;
+* :mod:`repro.perf.cache` — per-system memo for derived structures
+  (conflict/silencer bitmasks, shifted hierarchies), keyed weakly so caches
+  die with their system;
+* :mod:`repro.perf.incremental` — incremental generalised-weight engine for
+  hill-climbing searches (exactly matches
+  :meth:`~repro.model.system.RFIDSystem.weight` on infeasible sets);
+* :mod:`repro.perf.parallel` — opt-in fork-based process parallelism with
+  deterministic, order-preserving merges.
+
+The layer sits below :mod:`repro.model`: it imports only NumPy and
+:mod:`repro.util`, so every other subpackage may depend on it.  None of the
+kernels change *what* is computed — work counters (``sets_evaluated``,
+``sets_by_context``) and returned weights are bit-identical to the reference
+paths; only wall-clock changes.  See ``docs/performance.md``.
+"""
+
+from repro.perf.cache import conflict_bits, silencer_bits, system_memo
+from repro.perf.incremental import GeneralizedWeightClimber
+from repro.perf.packed import PackedCoverage, popcount_words
+from repro.perf.parallel import fork_map, resolve_workers
+
+__all__ = [
+    "PackedCoverage",
+    "popcount_words",
+    "system_memo",
+    "conflict_bits",
+    "silencer_bits",
+    "GeneralizedWeightClimber",
+    "fork_map",
+    "resolve_workers",
+]

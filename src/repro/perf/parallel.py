@@ -1,0 +1,81 @@
+"""Opt-in process parallelism with deterministic merges.
+
+:func:`fork_map` runs ``fn`` over a payload list on a pool of forked worker
+processes and returns results **in payload order** — callers merge exactly
+as they would serially, so parallel output is byte-identical to serial
+output whenever ``fn`` itself is deterministic per payload.
+
+Design constraints, in order:
+
+* *Determinism* — results are reassembled by submission index; worker
+  scheduling never reorders anything observable.
+* *No pickling of the callable* — workers are created with the ``fork``
+  start method and inherit ``fn`` through a module global, so closures over
+  systems/solvers work; only payloads and results cross process boundaries
+  (and must be picklable).
+* *Graceful degradation* — ``workers=None``/``<=1``, a single payload, or a
+  platform without ``fork`` (Windows) all run serially in-process with the
+  exact same semantics.
+
+Telemetry contract: events emitted *inside* ``fn`` land in the worker's
+copy of the process-wide recorder and are discarded with the worker.
+Callers that need per-point telemetry must return it as part of ``fn``'s
+result (the bench runners do) or emit it in the parent after the merge (the
+sweep driver does).  See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, List, Optional, Sequence
+
+_WORKER_FN: Optional[Callable[[Any], Any]] = None
+
+
+def _invoke(payload_with_index) -> tuple:
+    index, payload = payload_with_index
+    return index, _WORKER_FN(payload)
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``workers`` argument: ``None``/``0`` → 1 (serial),
+    negative → CPU count."""
+    if workers is None or workers == 0:
+        return 1
+    if workers < 0:
+        return os.cpu_count() or 1
+    return int(workers)
+
+
+def fork_map(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    workers: Optional[int],
+) -> List[Any]:
+    """Map *fn* over *payloads*, optionally on forked worker processes.
+
+    Returns ``[fn(p) for p in payloads]`` in payload order regardless of
+    worker count.
+    """
+    payloads = list(payloads)
+    count = resolve_workers(workers)
+    if count <= 1 or len(payloads) <= 1:
+        return [fn(p) for p in payloads]
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return [fn(p) for p in payloads]
+
+    global _WORKER_FN
+    if _WORKER_FN is not None:
+        # Nested fork_map (fn itself parallelises): run this level serially
+        # rather than re-binding the global out from under the outer pool.
+        return [fn(p) for p in payloads]
+    ctx = multiprocessing.get_context("fork")
+    _WORKER_FN = fn
+    try:
+        with ctx.Pool(processes=min(count, len(payloads))) as pool:
+            indexed = pool.map(_invoke, list(enumerate(payloads)))
+    finally:
+        _WORKER_FN = None
+    indexed.sort(key=lambda pair: pair[0])
+    return [result for _, result in indexed]

@@ -4,6 +4,7 @@ These are deliberately dependency-light; every other subpackage may import
 :mod:`repro.util` but not vice versa.
 """
 
+from repro.util.compat import bit_count
 from repro.util.rng import RngLike, as_rng, spawn_rngs
 from repro.util.timing import Stopwatch
 from repro.util.validation import (
@@ -14,6 +15,7 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "bit_count",
     "RngLike",
     "as_rng",
     "spawn_rngs",

@@ -1,0 +1,22 @@
+"""Version portability shims.
+
+The package supports Python 3.9+, but several hot loops want the C-level
+``int.bit_count`` popcount added in 3.10.  :data:`bit_count` resolves to the
+native method when available and to the classic ``bin(x).count("1")`` idiom
+otherwise, so call sites never branch on the interpreter version.
+"""
+
+from __future__ import annotations
+
+import sys
+
+if sys.version_info >= (3, 10):
+    bit_count = int.bit_count
+else:  # pragma: no cover - exercised only on 3.9 interpreters
+
+    def bit_count(x: int) -> int:
+        """Number of set bits in the absolute value of *x* (popcount)."""
+        return bin(x).count("1")
+
+
+__all__ = ["bit_count"]
