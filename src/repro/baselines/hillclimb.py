@@ -30,6 +30,7 @@ def greedy_hill_climbing(
     seed: RngLike = None,  # accepted for interface uniformity; deterministic
     require_feasible: bool = False,
     gain_mode: str = "weight",
+    context=None,
 ) -> OneShotResult:
     """One-shot GHC: grow the active set by best incremental gain.
 
@@ -48,6 +49,12 @@ def greedy_hill_climbing(
         climber that blunders into interference, closer to how far below
         the proposed algorithms the paper plots GHC.  Kept as an ablation
         (see EXPERIMENTS.md).
+    context:
+        Optional :class:`~repro.perf.slotdelta.ScheduleContext`.  Retired
+        readers are skipped in each scan: a reader covering no unread tag
+        adds only interference, so its weight gain is ≤ 0 and its coverage
+        gain is 0 — never above the positive-only ``best_gain`` threshold —
+        and the climb path is unchanged.
     """
     if gain_mode not in ("weight", "coverage"):
         raise ValueError(f"gain_mode must be 'weight' or 'coverage', got {gain_mode!r}")
@@ -56,7 +63,10 @@ def greedy_hill_climbing(
     # (RTc) state across the whole climb, so each candidate evaluation is a
     # few big-int operations; weight_with(r) is bit-identical to
     # system.weight(active + [r], unread).
-    climber = GeneralizedWeightClimber(system, unread)
+    if context is not None:
+        climber = GeneralizedWeightClimber(system, unread_bits=context.unread_bits)
+    else:
+        climber = GeneralizedWeightClimber(system, unread)
     current_w = 0
     in_set = np.zeros(n, dtype=bool)
 
@@ -66,6 +76,8 @@ def greedy_hill_climbing(
         best_weight = current_w
         for r in range(n):
             if in_set[r]:
+                continue
+            if context is not None and not context.is_live(r):
                 continue
             if require_feasible and climber.active and climber.conflicts_with_active(r):
                 continue
@@ -95,6 +107,7 @@ def greedy_hill_climbing(
         system,
         climber.active,
         unread,
+        context=context,
         solver="ghc",
         require_feasible=require_feasible,
         gain_mode=gain_mode,

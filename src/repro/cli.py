@@ -56,6 +56,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also account link-layer micro-slots per time-slot",
     )
+    solve.add_argument(
+        "--incremental",
+        action="store_true",
+        help="with --schedule: enable the cross-slot pruning layer "
+        "(output-identical, less search work; see docs/performance.md)",
+    )
 
     figure = sub.add_parser("figure", help="regenerate an evaluation figure")
     figure.add_argument("figure_id", choices=sorted(FIGURE_DEFAULTS))
@@ -106,6 +112,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--tags", type=int, default=1200)
     sweep.add_argument("--side", type=float, default=100.0)
     sweep.add_argument("--save", default=None, help="write the raw sweep to JSON")
+    sweep.add_argument(
+        "--incremental",
+        action="store_true",
+        help="with --metric mcs_size: run schedules under the cross-slot "
+        "pruning layer (same sizes, less work)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -133,6 +145,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run bench jobs on N forked processes (-1 = CPU count); "
         "work counters are identical to a serial run",
     )
+    bench.add_argument(
+        "--incremental",
+        action="store_true",
+        help="measure the mcs family under the cross-slot pruning layer; "
+        "records are labelled '<point>+inc'",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-stage wall-clock breakdown "
+        "(solve / inventory / retire) of each mcs record",
+    )
     return parser
 
 
@@ -155,11 +179,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     if args.schedule:
         if args.solver == "colorwave":
+            if args.incremental:
+                print("note: --incremental applies to the greedy covering "
+                      "schedule only; colorwave runs unchanged")
             result = colorwave_covering_schedule(system, seed=args.seed)
         else:
             solver = get_solver(args.solver, **SOLVER_KWARGS.get(args.solver, {}))
             result = greedy_covering_schedule(
-                system, solver, linklayer=args.linklayer, seed=args.seed
+                system,
+                solver,
+                linklayer=args.linklayer,
+                seed=args.seed,
+                incremental=args.incremental,
             )
         print(f"covering schedule: {result.size} slots, complete={result.complete}")
         print(f"tags read: {result.tags_read_total}; per-slot: {result.reads_per_slot()}")
@@ -253,7 +284,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     from repro.experiments.figures import run_figure
 
-    result = run_figure(spec, seeds=tuple(args.seeds))
+    result = run_figure(spec, seeds=tuple(args.seeds), incremental=args.incremental)
     print(format_series_table(result, spec.title))
     if args.save:
         from repro.io import save_sweep
@@ -268,17 +299,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         FULL_MATRIX,
         QUICK_MATRIX,
         format_bench_table,
+        format_stage_profile,
         run_bench_matrix,
         write_bench_files,
     )
 
     matrix = QUICK_MATRIX if args.quick else FULL_MATRIX
+    families = "mcs only, +inc labels" if args.incremental else "oneshot + mcs"
     print(
         f"running {'quick' if args.quick else 'full'} benchmark matrix "
-        f"({len(matrix)} scenario points, oneshot + mcs)"
+        f"({len(matrix)} scenario points, {families})"
     )
-    records = run_bench_matrix(matrix, workers=args.workers)
+    records = run_bench_matrix(
+        matrix, workers=args.workers, incremental=args.incremental
+    )
     print(format_bench_table(records))
+    if args.profile:
+        print()
+        print(format_stage_profile(records))
     if args.dry_run:
         print("dry run: BENCH files not written")
         return 0

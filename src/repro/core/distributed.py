@@ -74,6 +74,7 @@ class SchedulerNode(Node):
         ball_node_budget: int = 100_000,
         reliable: bool = False,
         gather_slack: int = 0,
+        prune_zero: bool = False,
     ):
         super().__init__(node_id)
         self.cover_mask = int(cover_mask)
@@ -86,6 +87,11 @@ class SchedulerNode(Node):
         self.gather_rounds = 2 * self.c + 2 + int(gather_slack)
         self.ball_node_budget = int(ball_node_budget)
         self.reliable = bool(reliable)
+        # Incremental-MCS pruning: drop zero-weight (retired) readers from
+        # local MWFS candidate pools.  Message pattern, round count and the
+        # set of *tag-serving* Red nodes are unchanged — a retired reader in
+        # gamma turns Black instead of Red, serving the same (empty) tag set.
+        self.prune_zero = bool(prune_zero)
         self.state = WHITE
         self.announced = False
         self.coordinator_of: Optional[_Result] = None
@@ -182,6 +188,8 @@ class SchedulerNode(Node):
         return set(dist)
 
     def _local_mwfs(self, candidates: Set[int]) -> Tuple[List[int], int]:
+        if self.prune_zero:
+            candidates = {u for u in candidates if self.view_weights.get(u, 0) > 0}
         masks = {u: self.view_masks[u] for u in candidates}
         oracle = BitsetWeightOracle.from_masks(masks, unread_mask=-1)
         neighbor_sets = {
@@ -248,6 +256,7 @@ def run_distributed_protocol(
     gather_slack: Optional[int] = None,
     seed=None,
     tracer=None,
+    context=None,
 ) -> DistributedOutcome:
     """Execute Algorithm 3 and return the scheduling set plus metrics.
 
@@ -261,6 +270,12 @@ def run_distributed_protocol(
     reliable / gather_slack:
         Override the loss-driven defaults (e.g. to demonstrate how the
         fire-and-forget protocol degrades on lossy links).
+    context:
+        Optional :class:`~repro.perf.slotdelta.ScheduleContext`.  Builds the
+        per-node cover masks from the maintained unread bitset and enables
+        ``prune_zero`` on every node: retired readers drop out of local
+        MWFS pools, shrinking coordinator computations while rounds,
+        message counts and the served-tag set stay identical.
     """
     check_in_range("rho", rho, 1.0, float("inf"), low_open=True)
     if c < 0:
@@ -275,7 +290,10 @@ def run_distributed_protocol(
             0 if loss_rate == 0.0 else int(np.ceil((2 * c + 2) * 3 * loss_rate / (1 - loss_rate))) + 4
         )
     n = system.num_readers
-    oracle = BitsetWeightOracle(system, unread)
+    if context is not None:
+        oracle = BitsetWeightOracle(system, unread_bits=context.unread_bits)
+    else:
+        oracle = BitsetWeightOracle(system, unread)
     adj = adjacency_lists(system)
     nodes = [
         SchedulerNode(
@@ -286,6 +304,7 @@ def run_distributed_protocol(
             ball_node_budget=ball_node_budget,
             reliable=reliable,
             gather_slack=gather_slack,
+            prune_zero=context is not None,
         )
         for i in range(n)
     ]
@@ -305,6 +324,7 @@ def run_distributed_protocol(
         system,
         red,
         unread,
+        context=context,
         solver="distributed",
         rho=rho,
         c=c,
@@ -329,6 +349,7 @@ def distributed_mwfs(
     c: int = 2,
     max_rounds: int = 10_000,
     ball_node_budget: int = 100_000,
+    context=None,
 ) -> OneShotResult:
     """Algorithm 3 as a plain one-shot solver (metrics in ``meta``)."""
     outcome = run_distributed_protocol(
@@ -338,5 +359,6 @@ def distributed_mwfs(
         c=c,
         max_rounds=max_rounds,
         ball_node_budget=ball_node_budget,
+        context=context,
     )
     return outcome.result

@@ -43,6 +43,7 @@ def solve_mwfs_masks(
     oracle: BitsetWeightOracle,
     conflict_fn,
     max_nodes: int = 1_000_000,
+    warm_start: Optional[Sequence[int]] = None,
 ) -> Tuple[List[int], int, bool]:
     """Core search over *candidates* with pluggable structures.
 
@@ -57,6 +58,13 @@ def solve_mwfs_masks(
         adjacent in the interference graph).
     max_nodes:
         Search-tree node budget.
+    warm_start:
+        Optional known-feasible subset of *candidates* (e.g. the previous
+        MCS slot's surviving active set).  Seeds the incumbent at one below
+        its weight, so the branch-and-bound prunes against it from node one
+        without ever excluding a strictly-better or equal-and-earlier set —
+        the returned set is identical to a cold search that completes within
+        budget, reached with fewer nodes.
 
     Returns
     -------
@@ -72,6 +80,18 @@ def solve_mwfs_masks(
     oracle.reset()
     best_set: List[int] = []
     best_weight = 0
+    warm_weight = None
+    if warm_start:
+        warm = [int(c) for c in warm_start]
+        w0 = oracle.weight_of(warm)
+        if w0 > 0:
+            # The first DFS node of weight >= w0 replaces this placeholder
+            # (the warm set itself is in the searched tree, so one exists
+            # within budget); the placeholder is only ever *returned* when
+            # the node budget cuts the search short of any such node.
+            best_set = list(warm)
+            best_weight = w0 - 1
+            warm_weight = w0
     chosen: List[int] = []
     nodes_visited = 0
     exhausted = False
@@ -104,6 +124,8 @@ def solve_mwfs_masks(
 
     recurse(cands)
     oracle.reset()
+    if warm_weight is not None and best_weight == warm_weight - 1:
+        best_weight = warm_weight  # warm placeholder survived: report truthfully
     rec = get_recorder()
     if rec.enabled:
         rec.emit(CandidateEvaluation(context="exact.bnb", count=nodes_visited))
@@ -118,6 +140,7 @@ def exact_mwfs(
     max_nodes: int = 1_000_000,
     on_budget: str = "best",
     oracle: Optional[BitsetWeightOracle] = None,
+    context=None,
 ) -> OneShotResult:
     """Exact (within *max_nodes*) MWFS for the One-Shot Schedule Problem.
 
@@ -136,11 +159,25 @@ def exact_mwfs(
     oracle:
         Reuse a prebuilt oracle (the MCS loop rebuilds one per slot
         otherwise).
+    context:
+        Optional :class:`~repro.perf.slotdelta.ScheduleContext`.  Retired
+        readers (zero remaining covered count) are dropped from the
+        candidate pool — they sort last with solo weight 0, so the first
+        strict-improvement incumbent never contains one and the returned set
+        is unchanged — and the previous slot's surviving active set seeds
+        the incumbent (see :func:`solve_mwfs_masks`).
     """
     if on_budget not in ("best", "raise"):
         raise ValueError(f"on_budget must be 'best' or 'raise', got {on_budget!r}")
     if candidates is None:
         candidates = range(system.num_readers)
+    warm: Optional[list] = None
+    if context is not None:
+        candidates = [c for c in candidates if context.is_live(c)]
+        pool = set(candidates)
+        warm = [c for c in context.warm_start() if c in pool]
+        if oracle is None:
+            oracle = BitsetWeightOracle(system, unread_bits=context.unread_bits)
     if oracle is None:
         oracle = BitsetWeightOracle(system, unread)
     adj = conflict_bits(system)
@@ -150,6 +187,7 @@ def exact_mwfs(
         oracle,
         lambda i, j: bool(adj[i] >> j & 1),
         max_nodes=max_nodes,
+        warm_start=warm,
     )
     if exhausted and on_budget == "raise":
         raise SearchBudgetExceeded(
@@ -159,6 +197,7 @@ def exact_mwfs(
         system,
         best_set,
         unread,
+        context=context,
         solver="exact",
         budget_exhausted=exhausted,
         reported_weight=best_weight,

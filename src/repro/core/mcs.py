@@ -25,6 +25,8 @@ heuristic comparable on the same footing.
 
 from __future__ import annotations
 
+import inspect
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -40,8 +42,10 @@ from repro.obs.events import (
     ScheduleDone,
     SlotEnd,
     SlotStart,
+    StageTiming,
     get_recorder,
 )
+from repro.perf.slotdelta import ScheduleContext
 from repro.util.rng import RngLike, as_rng
 
 
@@ -55,6 +59,15 @@ class SlotRecord:
     weight: int
     solver_meta: dict = field(default_factory=dict)
     inventory: Optional[InventoryResult] = None
+
+    def __post_init__(self) -> None:
+        # Schedule history is shared with analysis code; freeze the arrays
+        # so nothing can mutate it through the dataclass.
+        for name in ("active", "tags_read"):
+            arr = np.asarray(getattr(self, name), dtype=np.int64)
+            if arr.flags.writeable:
+                arr.setflags(write=False)
+            object.__setattr__(self, name, arr)
 
     @property
     def num_read(self) -> int:
@@ -89,12 +102,19 @@ class ScheduleResult:
 
 
 def _best_singleton(
-    system: RFIDSystem, unread: np.ndarray
+    system: RFIDSystem,
+    unread: np.ndarray,
+    context: Optional[ScheduleContext] = None,
 ) -> Optional[int]:
     """Reader covering the most unread tags, or None if nothing is covered.
     Popcounts over the packed coverage words replace the ``(m, n)`` mask
-    product; ties break to the lowest reader id, as before."""
-    counts = system.packed_coverage.covered_counts(unread)
+    product; ties break to the lowest reader id, as before.  An incremental
+    context already maintains exactly these counts, so they are read off for
+    free."""
+    if context is not None:
+        counts = context.remaining_counts
+    else:
+        counts = system.packed_coverage.covered_counts(unread)
     if counts.size == 0 or counts.max() == 0:
         return None
     return int(np.argmax(counts))
@@ -108,6 +128,7 @@ def greedy_covering_schedule(
     read_mode: str = "all",
     linklayer: Optional[str] = None,
     seed: RngLike = None,
+    incremental: bool = False,
 ) -> ScheduleResult:
     """Run the greedy covering-schedule loop with the given one-shot solver.
 
@@ -125,6 +146,15 @@ def greedy_covering_schedule(
         ``"all"`` or ``"single"`` (see module docstring).
     linklayer:
         ``None`` (no micro-slot accounting), ``"aloha"`` or ``"treewalk"``.
+    incremental:
+        Opt into the cross-slot pruning tier: a
+        :class:`~repro.perf.slotdelta.ScheduleContext` maintains the unread
+        mask and per-reader remaining counts across slots and is passed to
+        solvers that accept a ``context`` keyword, which may then drop
+        retired readers from their candidate pools and warm-start from the
+        previous slot.  Per-slot weights and tags-read sequences are
+        identical to the default path; work counters (``sets_evaluated``)
+        and wall-clock may shrink (``docs/performance.md``).
     """
     if read_mode not in ("all", "single"):
         raise ValueError(f"read_mode must be 'all' or 'single', got {read_mode!r}")
@@ -135,20 +165,44 @@ def greedy_covering_schedule(
     uncovered = np.flatnonzero(~coverable & state.unread_mask)
     cap = max_slots if max_slots is not None else 4 * system.num_readers + 64
 
+    context: Optional[ScheduleContext] = None
+    solver_takes_context = False
+    if incremental:
+        context = ScheduleContext(system, state.unread_mask & coverable)
+        try:
+            solver_takes_context = (
+                "context" in inspect.signature(solver).parameters
+            )
+        except (TypeError, ValueError):  # builtins / exotic callables
+            solver_takes_context = False
+
     rec = get_recorder()
     slots: List[SlotRecord] = []
     total_read = 0
     while len(slots) < cap:
-        unread = state.unread_mask & coverable
-        if not unread.any():
-            break
+        if context is not None:
+            if context.num_unread == 0:
+                break
+            unread = context.unread
+            unread_count = context.num_unread
+        else:
+            unread = state.unread_mask & coverable
+            if not unread.any():
+                break
+            unread_count = None
         if rec.enabled:
-            rec.emit(SlotStart(slot=len(slots), unread_tags=int(unread.sum())))
-        result: OneShotResult = solver(system, unread, rng)
+            if unread_count is None:
+                unread_count = int(unread.sum())
+            rec.emit(SlotStart(slot=len(slots), unread_tags=unread_count))
+            t_stage = time.perf_counter()
+        if solver_takes_context:
+            result: OneShotResult = solver(system, unread, rng, context=context)
+        else:
+            result = solver(system, unread, rng)
         active = result.active
         well = system.well_covered_tags(active, unread)
         if len(well) == 0:
-            fallback = _best_singleton(system, unread)
+            fallback = _best_singleton(system, unread, context)
             if fallback is None:
                 break  # nothing coverable remains (cannot happen with unread.any())
             active = np.asarray([fallback], dtype=np.int64)
@@ -166,11 +220,29 @@ def greedy_covering_schedule(
                     keep.append(int(t))
             well = np.asarray(keep, dtype=np.int64)
 
+        if rec.enabled:
+            rec.emit(
+                StageTiming(
+                    slot=len(slots),
+                    stage="solve",
+                    seconds=time.perf_counter() - t_stage,
+                )
+            )
+            t_stage = time.perf_counter()
+
         inventory = None
         if linklayer is not None:
             inventory = run_inventory_session(
                 system, active, unread, protocol=linklayer, seed=rng
             )
+            if rec.enabled:
+                rec.emit(
+                    StageTiming(
+                        slot=len(slots),
+                        stage="inventory",
+                        seconds=time.perf_counter() - t_stage,
+                    )
+                )
 
         if rec.enabled:
             rec.emit(
@@ -180,8 +252,20 @@ def greedy_covering_schedule(
                     rtc_silenced=int(len(rtc_victims(system, active))),
                 )
             )
+            t_stage = time.perf_counter()
 
         state.mark_read(well.tolist())
+        if context is not None:
+            context.retire_tags(well)
+            context.note_active(active)
+        if rec.enabled:
+            rec.emit(
+                StageTiming(
+                    slot=len(slots),
+                    stage="retire",
+                    seconds=time.perf_counter() - t_stage,
+                )
+            )
         total_read += int(len(well))
         if rec.enabled:
             rec.emit(

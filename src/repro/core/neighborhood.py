@@ -65,6 +65,7 @@ def centralized_location_free(
     max_radius: Optional[int] = None,
     ball_node_budget: int = 200_000,
     oracle: Optional[BitsetWeightOracle] = None,
+    context=None,
 ) -> OneShotResult:
     """Algorithm 2: location-free centralized MWFS approximation.
 
@@ -79,11 +80,24 @@ def centralized_location_free(
         saturates.
     ball_node_budget:
         Branch-and-bound budget for each local MWFS computation.
+    context:
+        Optional :class:`~repro.perf.slotdelta.ScheduleContext`.  Retired
+        readers must stay in ``alive`` — deleting them would change ball
+        connectivity and hence which readers later iterations see — so
+        pruning is confined to two provably output-identical moves: retired
+        readers are dropped from each local MWFS candidate pool (they sort
+        last with solo weight 0 and never enter the first
+        strict-improvement winner), and the head loop stops once the
+        maximum solo weight hits 0 (from that point the reference run only
+        commits retired singletons, which serve no tag).
     """
     check_in_range("rho", rho, 1.0, float("inf"), low_open=True)
     n = system.num_readers
     if n == 0:
-        return make_result(system, [], unread, solver="centralized", rho=rho)
+        return make_result(system, [], unread, context=context,
+                           solver="centralized", rho=rho)
+    if context is not None and oracle is None:
+        oracle = BitsetWeightOracle(system, unread_bits=context.unread_bits)
     if oracle is None:
         oracle = BitsetWeightOracle(system, unread)
     adj = adjacency_lists(system)
@@ -94,6 +108,8 @@ def centralized_location_free(
     iterations = []
 
     def local_mwfs(candidates) -> List[int]:
+        if context is not None:
+            candidates = [c for c in candidates if context.is_live(c)]
         best, _w, _ex = solve_mwfs_masks(
             candidates,
             oracle,
@@ -105,6 +121,11 @@ def centralized_location_free(
     while alive:
         # Step 1: remaining reader of maximum solo weight (ties: lowest id).
         v = min(alive, key=lambda u: (-oracle.solo_weight(u), u))
+        if context is not None and oracle.solo_weight(v) == 0:
+            # Every remaining reader is retired: the reference run would now
+            # commit zero-weight singletons one component at a time, none of
+            # which serves a tag.  Stop — the served-tag set is unchanged.
+            break
 
         # Step 2: grow the ball while the weight multiplies by >= rho.
         r = 0
@@ -136,6 +157,7 @@ def centralized_location_free(
         system,
         solution,
         unread,
+        context=context,
         solver="centralized",
         rho=rho,
         iterations=iterations,

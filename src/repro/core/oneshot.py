@@ -9,6 +9,7 @@ adding a scheduler means implementing one function and registering it.
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -45,6 +46,8 @@ def make_result(
     system: RFIDSystem,
     active,
     unread: Optional[np.ndarray] = None,
+    *,
+    context=None,
     **meta,
 ) -> OneShotResult:
     """Assemble an :class:`OneShotResult`, computing weight and feasibility
@@ -52,9 +55,14 @@ def make_result(
 
     The weight comes from the packed generalised-weight engine, which is
     property-tested bit-identical to the NumPy reference
-    :meth:`RFIDSystem.weight` on feasible and infeasible sets alike."""
+    :meth:`RFIDSystem.weight` on feasible and infeasible sets alike.  With a
+    :class:`~repro.perf.slotdelta.ScheduleContext` the engine reuses the
+    context's prepacked unread mask (identical bits, no per-slot packing)."""
     idx = system._normalize_active(active)
-    climber = GeneralizedWeightClimber(system, unread)
+    if context is not None:
+        climber = GeneralizedWeightClimber(system, unread_bits=context.unread_bits)
+    else:
+        climber = GeneralizedWeightClimber(system, unread)
     for i in idx:
         climber.add(int(i))
     return OneShotResult(
@@ -66,6 +74,9 @@ def make_result(
 
 
 #: Solver signature: (system, unread mask or None, seed) -> OneShotResult.
+#: Solvers may additionally accept a ``context`` keyword (a
+#: :class:`~repro.perf.slotdelta.ScheduleContext`); the MCS driver passes it
+#: only to solvers whose signature declares it.
 OneShotSolver = Callable[[RFIDSystem, Optional[np.ndarray], RngLike], OneShotResult]
 
 _REGISTRY: Dict[str, Callable[..., OneShotSolver]] = {}
@@ -121,13 +132,21 @@ def _register_builtins() -> None:
     from repro.core.ptas import ptas_mwfs
 
     def wrap(fn):
+        # Forward the schedule context only to solvers that implement the
+        # pruning hooks; the rest keep their reference signature untouched.
+        takes_context = "context" in inspect.signature(fn).parameters
+
         def factory(**kw):
-            def solver(system, unread=None, seed=None):
+            def solver(system, unread=None, seed=None, context=None):
+                if takes_context:
+                    kw_all = dict(kw, context=context)
+                else:
+                    kw_all = kw
                 rec = get_recorder()
                 if not rec.enabled:
-                    return fn(system, unread=unread, seed=seed, **kw)
+                    return fn(system, unread=unread, seed=seed, **kw_all)
                 t0 = time.perf_counter()
-                result = fn(system, unread=unread, seed=seed, **kw)
+                result = fn(system, unread=unread, seed=seed, **kw_all)
                 rec.emit(
                     SolverCall(
                         solver=result.meta.get("solver", fn.__name__),

@@ -81,17 +81,25 @@ def _enumerate_independent_subsets(
     yield from rec([], list(cands))
 
 
-def _build_square_index(hierarchy: ShiftedHierarchy):
+def _build_square_index(hierarchy: ShiftedHierarchy, live=None):
     """Unread-independent square index of one shifting: ``own[S]`` = survive
     disks of level ``S.level`` inside ``S`` (survive order), ``occupied[S]``
     = survive disks of level ≥ ``S.level`` inside ``S``, plus the sorted
     relevant level-0 squares.  Pure geometry — cached per
-    ``(system, k, r, s)`` and reused across MCS slots."""
+    ``(system, k, r, s)`` and reused across MCS slots.
+
+    ``live`` optionally restricts the index to readers for which
+    ``live(i)`` is true — the incremental MCS path passes
+    :meth:`~repro.perf.slotdelta.ScheduleContext.is_live` so retired disks
+    stop inflating square contents and the per-square enumerations.  The
+    filtered index is per-slot state and is *not* memoised."""
     own: Dict[Square, Tuple[int, ...]] = {}
     occupied: Dict[Square, int] = {}
     tops = set()
     for i in hierarchy.survive_indices():
         i = int(i)
+        if live is not None and not live(i):
+            continue
         li = int(hierarchy.levels[i])
         center = hierarchy.centers[i]
         for lev in range(0, li + 1):
@@ -252,6 +260,7 @@ def ptas_mwfs(
     call_budget: int = 2_000,
     polish: bool = True,
     oracle: Optional[BitsetWeightOracle] = None,
+    context=None,
 ) -> OneShotResult:
     """Algorithm 1: near-optimal MWFS with location information.
 
@@ -273,10 +282,19 @@ def ptas_mwfs(
     polish:
         Greedily augment the winning shift's set with independent readers of
         positive gain (guarantee-preserving; see :func:`_polish`).
+    context:
+        Optional :class:`~repro.perf.slotdelta.ScheduleContext`.  Restricts
+        every shift's square index to live readers (a retired disk has solo
+        weight 0 and never enters a strict-improvement winner) and skips
+        retired readers in the polish scan (their gain is exactly 0, never
+        ``> best_gain``); the returned set is the same as without pruning
+        while the per-square enumerations shrink as tags retire.
     """
     n = system.num_readers
     if n == 0:
-        return make_result(system, [], unread, solver="ptas", k=k)
+        return make_result(system, [], unread, context=context, solver="ptas", k=k)
+    if context is not None and oracle is None:
+        oracle = BitsetWeightOracle(system, unread_bits=context.unread_bits)
     if oracle is None:
         oracle = BitsetWeightOracle(system, unread)
 
@@ -308,6 +326,12 @@ def ptas_mwfs(
             ("ptas.index", k, r, s),
             lambda: _build_square_index(hierarchy),
         )
+        if context is not None and context.has_retired:
+            # Per-slot live view of the cached geometry: retired disks drop
+            # out of own/occupied/tops, shrinking every enumeration below.
+            # While nothing is retired (typically slot 1) the cached index
+            # is already the live view.
+            index = _build_square_index(hierarchy, context.is_live)
         intersect_memo = system_memo(system, ("ptas.intersect", k, r, s), dict)
         dp = _ShiftDP(
             hierarchy,
@@ -329,7 +353,10 @@ def ptas_mwfs(
             # Polish per shift: the survive filter discards different disks
             # per (r, s), so each shift benefits from its own augmentation
             # before the max is taken.
-            candidate, w = _polish(list(candidate), w, oracle, adj, n)
+            candidate, w = _polish(
+                list(candidate), w, oracle, adj, n,
+                live=context.is_live if context is not None else None,
+            )
         if w > best_weight:
             best_weight = w
             best_set = candidate
@@ -351,6 +378,7 @@ def ptas_mwfs(
         system,
         best_set,
         unread,
+        context=context,
         solver="ptas",
         k=k,
         shift=best_shift,
@@ -365,6 +393,7 @@ def _polish(
     oracle: BitsetWeightOracle,
     adj: Sequence[int],
     n: int,
+    live=None,
 ) -> Tuple[List[int], int]:
     """Greedy feasible augmentation: repeatedly add the independent reader
     with the largest positive weight gain.
@@ -397,6 +426,11 @@ def _polish(
         best_w = weight
         for r in range(n):
             if in_set[r]:
+                continue
+            if live is not None and not live(r):
+                # A retired reader covers no unread tag: weight_with(r)
+                # equals the current weight, so its gain can never exceed
+                # the (positive-only) best_gain threshold below.
                 continue
             if adj[r] & chosen_bits:
                 continue

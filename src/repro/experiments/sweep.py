@@ -8,10 +8,13 @@ dict (one metric per algorithm, typically).  Results are aggregated per
 ``workers=N`` runs the grid points on forked worker processes.  Each point
 is seeded by its own ``(value, seed)`` pair — never by execution order — and
 results are merged back in grid order (values outer, seeds inner), so
-``SweepResult.raw`` is byte-identical to a serial run.  Telemetry caveat:
-events emitted *inside* ``measure`` stay in the worker and are discarded;
-the per-point ``SweepPoint`` events are emitted in the parent either way
-(see ``docs/performance.md``).
+``SweepResult.raw`` is byte-identical to a serial run.  On fork-less
+platforms :func:`~repro.perf.parallel.fork_map` degrades to a thread pool
+(with a RuntimeWarning) — the merge order and hence ``SweepResult.raw`` are
+unchanged.  Telemetry caveat: events emitted *inside* ``measure`` stay in
+the worker and are discarded under fork, but *interleave into the parent's
+recorder* under the thread fallback; the per-point ``SweepPoint`` events
+are emitted in the parent either way (see ``docs/performance.md``).
 """
 
 from __future__ import annotations

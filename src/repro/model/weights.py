@@ -37,14 +37,25 @@ class BitsetWeightOracle:
     unread:
         Optional boolean mask restricting which tags count toward the
         weight.  Defaults to the full population.
+    unread_bits:
+        Optional prepacked big-int unread mask (e.g.
+        :attr:`repro.perf.slotdelta.ScheduleContext.unread_bits`); takes
+        precedence over *unread* and skips the O(m) packing step.
     """
 
-    def __init__(self, system: RFIDSystem, unread: Optional[np.ndarray] = None):
+    def __init__(
+        self,
+        system: RFIDSystem,
+        unread: Optional[np.ndarray] = None,
+        unread_bits: Optional[int] = None,
+    ):
         # O(n): the per-reader masks come from the system's packed-coverage
         # cache (built once per system) and are shared, never copied — every
         # oracle method treats _cover as read-only.
         packed = system.packed_coverage
-        if unread is None:
+        if unread_bits is not None:
+            unread_mask = int(unread_bits)
+        elif unread is None:
             unread_mask = packed.full_mask
         else:
             unread_mask = packed.pack_mask(np.asarray(unread, dtype=bool))

@@ -34,6 +34,7 @@ from repro.obs.events import (
     SlotEnd,
     SlotStart,
     SolverCall,
+    StageTiming,
     SweepPoint,
     TraceRecorder,
     get_recorder,
@@ -62,6 +63,7 @@ __all__ = [
     "LinkLayerSession",
     "DistsimRound",
     "ScheduleDone",
+    "StageTiming",
     "SweepPoint",
     "Recorder",
     "NullRecorder",

@@ -107,9 +107,16 @@ def run_oneshot_bench(point: BenchPoint) -> dict:
     )
 
 
-def run_mcs_bench(point: BenchPoint) -> dict:
+def run_mcs_bench(point: BenchPoint, incremental: bool = False) -> dict:
     """Measure a full greedy covering schedule at *point*; returns a run
-    record."""
+    record.
+
+    With ``incremental=True`` the schedule runs under the opt-in pruning
+    layer (:class:`~repro.perf.slotdelta.ScheduleContext`) and the record's
+    label gains a ``+inc`` suffix — incremental runs form their own
+    trajectory per scenario point, so the baseline-drift check on the
+    default labels keeps comparing like with like.
+    """
     from repro.core.mcs import greedy_covering_schedule
     from repro.core.oneshot import get_solver
 
@@ -119,14 +126,16 @@ def run_mcs_bench(point: BenchPoint) -> dict:
     collector = RunCollector()
     t0 = time.perf_counter()
     with recording(collector):
-        schedule = greedy_covering_schedule(system, solver, seed=scenario.seed)
+        schedule = greedy_covering_schedule(
+            system, solver, seed=scenario.seed, incremental=incremental
+        )
     wall = time.perf_counter() - t0
     metrics = collector.summary()
     metrics["slots_to_completion"] = int(schedule.size)
     metrics["complete"] = bool(schedule.complete)
     return run_record(
         bench="mcs",
-        label=point.label,
+        label=point.label + ("+inc" if incremental else ""),
         solver=point.solver,
         scenario=dataclasses.asdict(scenario),
         metrics=metrics,
@@ -134,15 +143,19 @@ def run_mcs_bench(point: BenchPoint) -> dict:
     )
 
 
-def _run_bench_job(job: Tuple[str, BenchPoint]) -> dict:
-    """Dispatch one (family, point) job — module-level for worker processes."""
-    family, point = job
-    return run_oneshot_bench(point) if family == "oneshot" else run_mcs_bench(point)
+def _run_bench_job(job: Tuple[str, BenchPoint, bool]) -> dict:
+    """Dispatch one (family, point, incremental) job — module-level for
+    worker processes."""
+    family, point, incremental = job
+    if family == "oneshot":
+        return run_oneshot_bench(point)
+    return run_mcs_bench(point, incremental=incremental)
 
 
 def run_bench_matrix(
     points: Sequence[BenchPoint],
     workers: Optional[int] = None,
+    incremental: bool = False,
 ) -> Dict[str, List[dict]]:
     """Run both bench families over *points*; returns records keyed by
     family (``"oneshot"`` / ``"mcs"``).
@@ -152,8 +165,18 @@ def run_bench_matrix(
     finished record, so every counter in the record — ``sets_evaluated``,
     ``sets_by_context``, collision tallies — is identical to a serial run;
     only the per-record wall-clock reflects a loaded machine.
+
+    ``incremental=True`` measures the pruning layer instead: only the mcs
+    family runs (a one-shot solve has no cross-slot state to reuse), each
+    record labelled ``<point>+inc``.
     """
-    jobs = [("oneshot", p) for p in points] + [("mcs", p) for p in points]
+    if incremental:
+        jobs = [("mcs", p, True) for p in points]
+        records = fork_map(_run_bench_job, jobs, workers)
+        return {"mcs": records}
+    jobs = [("oneshot", p, False) for p in points] + [
+        ("mcs", p, False) for p in points
+    ]
     records = fork_map(_run_bench_job, jobs, workers)
     return {
         "oneshot": records[: len(points)],
@@ -175,6 +198,38 @@ def write_bench_files(
             merge_run(path, record)
         paths[family] = path
     return paths
+
+
+#: Stage names of the MCS driver's per-slot breakdown, in pipeline order.
+PROFILE_STAGES = ("solve", "inventory", "retire")
+
+
+def format_stage_profile(records: Dict[str, List[dict]]) -> str:
+    """Per-stage wall-clock breakdown of the mcs records (``--profile``).
+
+    One row per record with total seconds spent in each MCS driver stage
+    (``solve`` / ``inventory`` / ``retire``, from the
+    ``stage_seconds_by_name`` metric fed by
+    :class:`~repro.obs.events.StageTiming` events) plus each stage's share
+    of the summed stage time.
+    """
+    rows = [
+        f"{'label':<24} "
+        + " ".join(f"{s + '_s':>11}" for s in PROFILE_STAGES)
+        + f" {'solve%':>7}"
+    ]
+    for r in records.get("mcs", ()):
+        stages = r["metrics"].get("stage_seconds_by_name", {})
+        total = sum(stages.get(s, 0.0) for s in PROFILE_STAGES)
+        share = 100.0 * stages.get("solve", 0.0) / total if total else 0.0
+        rows.append(
+            f"{r['label']:<24} "
+            + " ".join(f"{stages.get(s, 0.0):>11.4f}" for s in PROFILE_STAGES)
+            + f" {share:>6.1f}%"
+        )
+    if len(rows) == 1:
+        rows.append("(no mcs records)")
+    return "\n".join(rows)
 
 
 def format_bench_table(records: Dict[str, List[dict]]) -> str:

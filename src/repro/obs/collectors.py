@@ -21,6 +21,7 @@ from repro.obs.events import (
     SlotEnd,
     SlotStart,
     SolverCall,
+    StageTiming,
     SweepPoint,
 )
 from repro.util.timing import Stopwatch
@@ -41,6 +42,10 @@ class RunCollector(Recorder):
     sets_by_context:
         Candidate-set evaluations keyed by search context
         (``"exact.bnb"``, ``"ptas.dp_cells"``, ``"localsearch.moves"``).
+    stage_times:
+        :class:`Stopwatch` keyed by MCS driver stage (``"solve"`` /
+        ``"inventory"`` / ``"retire"``) — the per-stage wall-clock breakdown
+        behind ``rfid-sched bench --profile``.
     """
 
     enabled = True
@@ -61,6 +66,7 @@ class RunCollector(Recorder):
             "sweep_points": 0,
         }
         self.solver_times = Stopwatch()
+        self.stage_times = Stopwatch()
         self.sweep_times = Stopwatch()
         self.tags_per_slot: List[int] = []
         self.sets_per_slot: List[int] = []
@@ -104,6 +110,8 @@ class RunCollector(Recorder):
             self.counters["distsim_rounds"] += 1
             self.counters["distsim_messages"] += event.sent
             self.counters["distsim_dropped"] += event.dropped
+        elif isinstance(event, StageTiming):
+            self.stage_times.record(event.stage, event.seconds)
         elif isinstance(event, ScheduleDone):
             self.schedule_complete = event.complete
         elif isinstance(event, SweepPoint):
@@ -126,6 +134,10 @@ class RunCollector(Recorder):
             lb: self.solver_times.total(lb) for lb in self.solver_times.labels()
         }
         out["sets_by_context"] = dict(sorted(self.sets_by_context.items()))
+        if self.stage_times.labels():
+            out["stage_seconds_by_name"] = {
+                lb: self.stage_times.total(lb) for lb in self.stage_times.labels()
+            }
         out["tags_per_slot"] = list(self.tags_per_slot)
         out["sets_per_slot"] = list(self.sets_per_slot)
         if self.schedule_complete is not None:

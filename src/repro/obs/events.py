@@ -124,6 +124,22 @@ class ScheduleDone:
 
 
 @dataclass(frozen=True)
+class StageTiming:
+    """One driver stage of time-slot *slot* took *seconds* of wall-clock.
+
+    ``stage`` names the MCS driver phase: ``"solve"`` (one-shot solver call
+    plus well-covered extraction and the singleton fallback), ``"inventory"``
+    (link-layer session, only when one is simulated) or ``"retire"``
+    (marking served tags read and updating the incremental schedule
+    context).
+    """
+
+    slot: int
+    stage: str
+    seconds: float
+
+
+@dataclass(frozen=True)
 class SweepPoint:
     """One replicated sweep measurement: ``measure(value, seed)`` at sweep
     parameter *param* took *seconds*."""
@@ -144,6 +160,7 @@ EVENT_TYPES: Tuple[type, ...] = (
     LinkLayerSession,
     DistsimRound,
     ScheduleDone,
+    StageTiming,
     SweepPoint,
 )
 

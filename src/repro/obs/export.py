@@ -58,6 +58,7 @@ METRIC_FIELDS: Dict[str, str] = {
     "solver_calls": "one-shot solver invocations (SolverCall count)",
     "solver_wall_clock_s": "total solver wall-clock, seconds",
     "solver_seconds_by_name": "solver wall-clock split by solver name",
+    "stage_seconds_by_name": "MCS driver wall-clock split by stage (solve/inventory/retire)",
     "sets_evaluated": "candidate scheduling sets scored by search routines",
     "sets_per_slot": "candidate sets evaluated while each slot was open",
     "sets_by_context": "sets_evaluated split by search context",

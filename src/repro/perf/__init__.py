@@ -11,19 +11,26 @@ Low-level representations and execution helpers shared by the solver stack:
   hill-climbing searches (exactly matches
   :meth:`~repro.model.system.RFIDSystem.weight` on infeasible sets);
 * :mod:`repro.perf.parallel` — opt-in fork-based process parallelism with
-  deterministic, order-preserving merges.
+  deterministic, order-preserving merges (thread-pool fallback where
+  ``fork`` is unavailable);
+* :mod:`repro.perf.slotdelta` — cross-slot incremental MCS state: the
+  unread mask maintained by clearing served-tag bits, per-reader remaining
+  covered counts (reader retirement) and warm starts for the next slot.
 
 The layer sits below :mod:`repro.model`: it imports only NumPy and
-:mod:`repro.util`, so every other subpackage may depend on it.  None of the
-kernels change *what* is computed — work counters (``sets_evaluated``,
-``sets_by_context``) and returned weights are bit-identical to the reference
-paths; only wall-clock changes.  See ``docs/performance.md``.
+:mod:`repro.util`, so every other subpackage may depend on it.  The kernel
+tier never changes *what* is computed — work counters (``sets_evaluated``,
+``sets_by_context``) and returned weights are bit-identical to the
+reference paths; the opt-in pruning tier (:class:`ScheduleContext`) keeps
+per-slot weights and tags-read byte-identical while the work counters may
+shrink.  See ``docs/performance.md``.
 """
 
 from repro.perf.cache import conflict_bits, silencer_bits, system_memo
 from repro.perf.incremental import GeneralizedWeightClimber
 from repro.perf.packed import PackedCoverage, popcount_words
 from repro.perf.parallel import fork_map, resolve_workers
+from repro.perf.slotdelta import ScheduleContext
 
 __all__ = [
     "PackedCoverage",
@@ -32,6 +39,7 @@ __all__ = [
     "conflict_bits",
     "silencer_bits",
     "GeneralizedWeightClimber",
+    "ScheduleContext",
     "fork_map",
     "resolve_workers",
 ]

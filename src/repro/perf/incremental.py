@@ -35,12 +35,22 @@ class GeneralizedWeightClimber:
         are shared, not copied).
     unread:
         Optional boolean tag mask restricting which tags count.
+    unread_bits:
+        Optional prepacked big-int unread mask (takes precedence over
+        *unread* and skips the O(m) packing step).
     """
 
-    def __init__(self, system, unread: Optional[np.ndarray] = None):
+    def __init__(
+        self,
+        system,
+        unread: Optional[np.ndarray] = None,
+        unread_bits: Optional[int] = None,
+    ):
         packed = system.packed_coverage
         self._masks = packed.masks
-        if unread is None:
+        if unread_bits is not None:
+            self._unread = int(unread_bits)
+        elif unread is None:
             self._unread = packed.full_mask
         else:
             self._unread = packed.pack_mask(np.asarray(unread, dtype=bool))

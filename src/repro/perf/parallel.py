@@ -13,21 +13,31 @@ Design constraints, in order:
   start method and inherit ``fn`` through a module global, so closures over
   systems/solvers work; only payloads and results cross process boundaries
   (and must be picklable).
-* *Graceful degradation* — ``workers=None``/``<=1``, a single payload, or a
-  platform without ``fork`` (Windows) all run serially in-process with the
-  exact same semantics.
+* *Graceful degradation* — ``workers=None``/``<=1`` or a single payload run
+  serially in-process; a platform without ``os.fork`` (Windows, or a
+  spawn-only interpreter) degrades to a **thread pool** with the same
+  payload-order merge, after a :class:`RuntimeWarning`.
 
 Telemetry contract: events emitted *inside* ``fn`` land in the worker's
 copy of the process-wide recorder and are discarded with the worker.
 Callers that need per-point telemetry must return it as part of ``fn``'s
 result (the bench runners do) or emit it in the parent after the merge (the
 sweep driver does).  See ``docs/performance.md``.
+
+Thread-fallback caveat: threads *share* the process-wide recorder, so on
+fork-less platforms events from concurrent payloads interleave into whatever
+recorder is installed in the caller.  The bench/sweep drivers are unaffected
+(they install collectors inside ``fn`` or emit after the merge), but custom
+callers relying on worker-discarded telemetry should treat ambient events as
+unordered under the fallback.  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence
 
 _WORKER_FN: Optional[Callable[[Any], Any]] = None
@@ -62,8 +72,23 @@ def fork_map(
     count = resolve_workers(workers)
     if count <= 1 or len(payloads) <= 1:
         return [fn(p) for p in payloads]
-    if "fork" not in multiprocessing.get_all_start_methods():
-        return [fn(p) for p in payloads]
+    if (
+        not hasattr(os, "fork")
+        or "fork" not in multiprocessing.get_all_start_methods()
+    ):
+        # No fork on this platform: degrade to threads, keeping the
+        # payload-order merge (and hence deterministic results for a
+        # deterministic fn).  Warn once per call — throughput and the
+        # ambient-telemetry isolation differ from the forked path.
+        warnings.warn(
+            "fork_map: os.fork unavailable on this platform; "
+            "falling back to a thread pool (results identical, telemetry "
+            "events from concurrent payloads interleave)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        with ThreadPoolExecutor(max_workers=min(count, len(payloads))) as pool:
+            return list(pool.map(fn, payloads))
 
     global _WORKER_FN
     if _WORKER_FN is not None:

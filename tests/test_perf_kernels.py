@@ -233,6 +233,42 @@ class TestParallelExecution:
         assert fork_map(lambda x: x + 1, [1, 2, 3], workers=1) == [2, 3, 4]
         assert fork_map(lambda x: x + 1, [7], workers=8) == [8]
 
+    def test_fork_map_thread_fallback_without_fork(self, monkeypatch):
+        """On a platform without ``os.fork`` (Windows, spawn-only builds)
+        fork_map must warn once and degrade to a thread pool with
+        byte-identical, payload-ordered results."""
+        import os as os_module
+
+        monkeypatch.delattr(os_module, "fork")
+        payloads = list(range(17))
+        with pytest.warns(RuntimeWarning, match="os.fork unavailable"):
+            got = fork_map(lambda x: x * 3 + 1, payloads, workers=4)
+        assert got == [x * 3 + 1 for x in payloads]
+
+    def test_fork_map_thread_fallback_spawn_only(self, monkeypatch):
+        """The same degradation triggers when fork exists but is not an
+        available multiprocessing start method."""
+        import multiprocessing
+
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        with pytest.warns(RuntimeWarning):
+            got = fork_map(lambda x: x - 1, [5, 6, 7], workers=2)
+        assert got == [4, 5, 6]
+
+    def test_fork_map_serial_paths_never_warn(self, monkeypatch):
+        """The degradations for ``workers<=1`` / single payload stay silent
+        even on fork-less platforms — nothing platform-specific runs."""
+        import os as os_module
+        import warnings as warnings_module
+
+        monkeypatch.delattr(os_module, "fork")
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert fork_map(lambda x: x, [1, 2, 3], workers=1) == [1, 2, 3]
+            assert fork_map(lambda x: x, [9], workers=4) == [9]
+
     def test_run_sweep_parallel_byte_identical_to_serial(self):
         from repro.experiments.sweep import run_sweep
 
@@ -264,7 +300,7 @@ def _strip_volatile(record):
     metrics = {
         k: v
         for k, v in record["metrics"].items()
-        if "wall_clock" not in k and k != "solver_seconds_by_name"
+        if "wall_clock" not in k and not k.endswith("_seconds_by_name")
     }
     return {
         "bench": record["bench"],

@@ -1,0 +1,292 @@
+"""Tier-2 contract for the cross-slot pruning layer (``repro.perf.slotdelta``).
+
+Pins, per ``docs/performance.md``:
+
+* ``ScheduleContext`` invariants — incremental unread mask / bits / counts
+  always match a from-scratch recompute, retirement is monotone, warm starts
+  are live subsets of the previous active set;
+* **output identity** — with ``incremental=True`` the covering schedule's
+  per-slot weights, tags-read sequences, slot count and completeness are
+  byte-identical to the reference path, for every solver family, on feasible
+  and degenerate (uncoverable-tag) scenarios;
+* **work reduction** — the pruning is allowed (expected) to shrink
+  ``sets_evaluated``; the PTAS square-index rebuild is the measurable case;
+* warm-started exact branch-and-bound returns the same set and weight as a
+  cold search;
+* committed ``SlotRecord`` arrays are frozen.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.baselines.hillclimb import greedy_hill_climbing
+from repro.core import greedy_covering_schedule
+from repro.core.distributed import distributed_mwfs
+from repro.core.exact import exact_mwfs, solve_mwfs_masks
+from repro.core.localsearch import local_search_mwfs
+from repro.core.neighborhood import centralized_location_free
+from repro.core.oneshot import make_result
+from repro.core.ptas import ptas_mwfs
+from repro.model.weights import BitsetWeightOracle
+from repro.obs.collectors import RunCollector
+from repro.obs.events import recording
+from repro.perf.slotdelta import ScheduleContext
+from tests.conftest import make_random_system
+
+
+# ---------------------------------------------------------------------------
+# ScheduleContext unit behaviour
+# ---------------------------------------------------------------------------
+class TestScheduleContext:
+    def test_initial_state_matches_coverage(self, line_system):
+        ctx = ScheduleContext(line_system)
+        assert ctx.num_unread == line_system.num_tags
+        assert ctx.unread.all()
+        assert ctx.unread_bits == line_system.packed_coverage.pack_mask(
+            ctx.unread
+        )
+        # Tag 3 is covered by nobody, so every reader starts live with its
+        # solo weight as the remaining count.
+        for r in range(line_system.num_readers):
+            assert ctx.is_live(r)
+            assert ctx.remaining_counts[r] == int(
+                line_system.coverage[:, r].sum()
+            )
+        assert not ctx.has_retired
+        ctx.check()
+
+    def test_retire_tags_updates_all_views(self, line_system):
+        ctx = ScheduleContext(line_system)
+        ctx.retire_tags([0])  # tag 0 is reader A's only tag
+        assert ctx.num_unread == line_system.num_tags - 1
+        assert not ctx.unread[0]
+        assert not ctx.is_live(0)
+        assert ctx.has_retired
+        assert list(ctx.live_readers()) == [1, 2]
+        ctx.check()
+
+    def test_retire_tags_is_idempotent(self, line_system):
+        ctx = ScheduleContext(line_system)
+        ctx.retire_tags([0, 1])
+        counts = ctx.remaining_counts.copy()
+        ctx.retire_tags([0, 1])  # second retire of the same tags: no-op
+        assert np.array_equal(ctx.remaining_counts, counts)
+        assert ctx.num_unread == line_system.num_tags - 2
+        ctx.check()
+
+    def test_warm_start_is_live_subset_of_previous_active(self, line_system):
+        ctx = ScheduleContext(line_system)
+        assert ctx.warm_start() == []  # no previous slot yet
+        ctx.note_active([0, 2])
+        assert ctx.warm_start() == [0, 2]
+        ctx.retire_tags([0])  # retires reader 0
+        assert ctx.warm_start() == [2]
+
+    def test_restricted_initial_unread(self, line_system):
+        unread = np.ones(line_system.num_tags, dtype=bool)
+        unread[3] = False  # the uncoverable tag already excluded
+        ctx = ScheduleContext(line_system, unread)
+        assert ctx.num_unread == 3
+        unread[0] = False  # caller's array was copied
+        assert ctx.unread[0]
+        ctx.check()
+
+    def test_invariants_hold_through_random_retirement(self):
+        system = make_random_system(12, 150, 40, 8, 5, seed=3)
+        ctx = ScheduleContext(system)
+        rng = np.random.default_rng(0)
+        while ctx.num_unread > 0:
+            unread_ids = np.flatnonzero(ctx.unread)
+            batch = rng.choice(
+                unread_ids, size=min(17, unread_ids.size), replace=False
+            )
+            ctx.retire_tags(batch)
+            ctx.check()
+        assert not ctx.unread.any()
+        assert ctx.unread_bits == 0
+        assert list(ctx.live_readers()) == []
+
+
+# ---------------------------------------------------------------------------
+# Output identity: incremental=True must not move the schedule
+# ---------------------------------------------------------------------------
+SOLVERS = {
+    "exact": exact_mwfs,
+    "ptas": functools.partial(ptas_mwfs, k=2),
+    "localsearch": local_search_mwfs,
+    "centralized": centralized_location_free,
+    "distributed": distributed_mwfs,
+    "ghc": greedy_hill_climbing,
+}
+
+
+def _schedule_fingerprint(result):
+    return {
+        "size": result.size,
+        "complete": result.complete,
+        "weights": [slot.weight for slot in result.slots],
+        "tags_read": [slot.tags_read.tolist() for slot in result.slots],
+        "active": [slot.active.tolist() for slot in result.slots],
+    }
+
+
+@pytest.mark.parametrize("name", sorted(SOLVERS))
+class TestOutputIdentity:
+    def test_feasible_system(self, name):
+        solver = SOLVERS[name]
+        ref = greedy_covering_schedule(
+            make_random_system(12, 150, 40, 8, 5, seed=3), solver, seed=11
+        )
+        inc = greedy_covering_schedule(
+            make_random_system(12, 150, 40, 8, 5, seed=3),
+            solver,
+            seed=11,
+            incremental=True,
+        )
+        assert _schedule_fingerprint(inc) == _schedule_fingerprint(ref)
+        assert ref.complete
+
+    def test_degenerate_uncoverable_tag(self, name, line_system):
+        solver = SOLVERS[name]
+        ref = greedy_covering_schedule(line_system, solver, seed=5)
+        inc = greedy_covering_schedule(
+            line_system, solver, seed=5, incremental=True
+        )
+        assert _schedule_fingerprint(inc) == _schedule_fingerprint(ref)
+        # "complete" here means every *coverable* tag read; tag 3 never is.
+        assert ref.complete
+        assert ref.tags_read_total == 3
+
+    def test_with_linklayer(self, name, line_system):
+        solver = SOLVERS[name]
+        ref = greedy_covering_schedule(
+            line_system, solver, linklayer="aloha", seed=2
+        )
+        inc = greedy_covering_schedule(
+            line_system, solver, linklayer="aloha", seed=2, incremental=True
+        )
+        assert _schedule_fingerprint(inc) == _schedule_fingerprint(ref)
+        assert inc.total_micro_slots == ref.total_micro_slots
+
+
+def test_incremental_with_context_blind_solver():
+    """A solver without a ``context`` keyword still schedules correctly under
+    ``incremental=True`` — the driver keeps the mask/retirement bookkeeping
+    to itself."""
+
+    def blind_solver(system, unread, seed):
+        return make_result(system, [int(np.argmax(unread @ system.coverage))],
+                           unread)
+
+    system = make_random_system(12, 150, 40, 8, 5, seed=3)
+    ref = greedy_covering_schedule(system, blind_solver)
+    inc = greedy_covering_schedule(system, blind_solver, incremental=True)
+    assert _schedule_fingerprint(inc) == _schedule_fingerprint(ref)
+
+
+# ---------------------------------------------------------------------------
+# Work reduction: pruning must shrink the PTAS's search, not just match it
+# ---------------------------------------------------------------------------
+def _counters(system, solver, incremental):
+    collector = RunCollector()
+    with recording(collector):
+        result = greedy_covering_schedule(
+            system, solver, seed=11, incremental=incremental
+        )
+    summary = collector.summary()
+    return result, summary
+
+
+def test_ptas_search_work_drops_with_retirement():
+    """Once readers retire, the live-only square index shrinks the PTAS's
+    per-square enumerations and DP cells.  (The exact branch-and-bound is
+    deliberately *not* asserted on: its upper bound already prunes
+    retired-only suffixes at the same nodes, so its node counts match the
+    reference by construction.)"""
+    solver = functools.partial(ptas_mwfs, k=2)
+    ref_res, ref = _counters(
+        make_random_system(20, 300, 50, 10, 5, seed=2), solver, False
+    )
+    inc_res, inc = _counters(
+        make_random_system(20, 300, 50, 10, 5, seed=2), solver, True
+    )
+    assert _schedule_fingerprint(inc_res) == _schedule_fingerprint(ref_res)
+    assert inc["sets_evaluated"] < ref["sets_evaluated"]
+    # Output-side counters stay pinned while search work drops.
+    assert inc["tags_per_slot"] == ref["tags_per_slot"]
+    assert inc["rrc_blocked"] == ref["rrc_blocked"]
+    assert inc["rtc_silenced"] == ref["rtc_silenced"]
+
+
+def test_default_mode_counters_unchanged_by_layer():
+    """With ``incremental=False`` nothing anywhere changes: identical
+    schedules *and* identical work counters (tier-1 applies unchanged)."""
+    solver = functools.partial(ptas_mwfs, k=2)
+    res_a, a = _counters(
+        make_random_system(12, 150, 40, 8, 5, seed=3), solver, False
+    )
+    res_b, b = _counters(
+        make_random_system(12, 150, 40, 8, 5, seed=3), solver, False
+    )
+    assert _schedule_fingerprint(res_a) == _schedule_fingerprint(res_b)
+    assert a["sets_evaluated"] == b["sets_evaluated"]
+    assert a["sets_by_context"] == b["sets_by_context"]
+
+
+# ---------------------------------------------------------------------------
+# Warm-started exact search
+# ---------------------------------------------------------------------------
+def _conflict_fn(system):
+    from repro.perf.cache import conflict_bits
+
+    adj = conflict_bits(system)
+    return lambda i, j: bool(adj[i] >> j & 1)
+
+
+class TestWarmStart:
+    def test_warm_start_returns_cold_answer(self):
+        system = make_random_system(12, 150, 40, 8, 5, seed=3)
+        oracle = BitsetWeightOracle(system)
+        conflict = _conflict_fn(system)
+        candidates = list(range(system.num_readers))
+        cold_set, cold_weight, _ = solve_mwfs_masks(
+            candidates, oracle, conflict
+        )
+        # Warm-start from several feasible subsets of the optimum, from the
+        # empty set, and from the optimum itself: same set, same weight.
+        for warm in ([], cold_set[:1], cold_set[:2], list(cold_set)):
+            oracle = BitsetWeightOracle(system)
+            warm_set, warm_weight, _ = solve_mwfs_masks(
+                candidates, oracle, conflict, warm_start=warm
+            )
+            assert warm_weight == cold_weight
+            assert sorted(warm_set) == sorted(cold_set)
+
+    def test_warm_start_weight_restored_when_unimproved(self, line_system):
+        """Seeding the incumbent one below the warm weight must not leak: if
+        the search cannot beat the warm set, the true weight comes back."""
+        oracle = BitsetWeightOracle(line_system)
+        conflict = _conflict_fn(line_system)
+        best_set, best_weight, _ = solve_mwfs_masks(
+            [0, 1, 2], oracle, conflict
+        )
+        oracle = BitsetWeightOracle(line_system)
+        warm_set, warm_weight, _ = solve_mwfs_masks(
+            [0, 1, 2], oracle, conflict, warm_start=best_set
+        )
+        assert warm_weight == best_weight
+        assert sorted(warm_set) == sorted(best_set)
+
+
+# ---------------------------------------------------------------------------
+# Committed slot records are frozen
+# ---------------------------------------------------------------------------
+def test_slot_record_arrays_are_read_only(line_system):
+    result = greedy_covering_schedule(line_system, exact_mwfs)
+    slot = result.slots[0]
+    with pytest.raises(ValueError):
+        slot.active[0] = 99
+    with pytest.raises(ValueError):
+        slot.tags_read[0] = 99
