@@ -9,10 +9,12 @@ solve one instance (``solve``) and regenerate an evaluation figure
     rfid-sched figure fig8 --seeds 0 1 2
     rfid-sched list-solvers
     rfid-sched bench --quick
+    rfid-sched chaos --fail-rates 0 0.1 0.2
 
 ``bench`` runs the pinned-seed benchmark matrix under tracing and appends
 the runs to ``BENCH_oneshot.json`` / ``BENCH_mcs.json`` (see
-``docs/observability.md``).
+``docs/observability.md``); ``chaos`` sweeps injected fault rates and
+appends to ``BENCH_chaos.json`` (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -156,6 +158,43 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-stage wall-clock breakdown "
         "(solve / inventory / retire) of each mcs record",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep injected failure/miss rates across solvers and append "
+        "to BENCH_chaos.json (docs/robustness.md)",
+    )
+    chaos.add_argument("--solvers", nargs="+", default=["ptas", "ghc"])
+    chaos.add_argument(
+        "--fail-rates", type=float, nargs="+", default=[0.0, 0.05, 0.1, 0.2],
+        dest="fail_rates",
+        help="per-slot flaky-activation probabilities to inject",
+    )
+    chaos.add_argument(
+        "--miss-rates", type=float, nargs="+", default=[0.0, 0.1],
+        dest="miss_rates",
+        help="per-read miss probabilities to inject",
+    )
+    chaos.add_argument("--readers", type=int, default=16)
+    chaos.add_argument("--tags", type=int, default=200)
+    chaos.add_argument("--side", type=float, default=50.0)
+    chaos.add_argument("--lambda-R", type=float, default=10.0, dest="lambda_R")
+    chaos.add_argument("--lambda-r", type=float, default=5.0, dest="lambda_r")
+    chaos.add_argument("--seed", type=int, default=11)
+    chaos.add_argument(
+        "--fault-seed", type=int, default=97, dest="fault_seed",
+        help="entropy of the injected fault worlds (schedules stay pinned "
+        "by --seed)",
+    )
+    chaos.add_argument("--max-slots", type=int, default=2048, dest="max_slots")
+    chaos.add_argument(
+        "--out-dir", default=".", help="directory receiving BENCH_chaos.json"
+    )
+    chaos.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="run and print the sweep without touching BENCH_chaos.json",
     )
     return parser
 
@@ -326,6 +365,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import (
+        format_chaos_table,
+        run_chaos_sweep,
+        write_chaos_files,
+    )
+
+    scenario_kwargs = dict(
+        num_readers=args.readers,
+        num_tags=args.tags,
+        side=args.side,
+        lambda_interference=args.lambda_R,
+        lambda_interrogation=args.lambda_r,
+        seed=args.seed,
+    )
+    grid = len(args.solvers) * len(args.fail_rates) * len(args.miss_rates)
+    print(
+        f"chaos sweep: {len(args.solvers)} solvers x "
+        f"{len(args.fail_rates)} fail rates x {len(args.miss_rates)} miss "
+        f"rates = {grid} points (fault seed {args.fault_seed})"
+    )
+    records = run_chaos_sweep(
+        solvers=args.solvers,
+        fail_rates=args.fail_rates,
+        miss_rates=args.miss_rates,
+        scenario_kwargs=scenario_kwargs,
+        fault_seed=args.fault_seed,
+        max_slots=args.max_slots,
+    )
+    print(format_chaos_table(records))
+    if args.dry_run:
+        print("dry run: BENCH_chaos.json not written")
+        return 0
+    path = write_chaos_files(records, args.out_dir)
+    print(f"appended {len(records)} chaos runs to {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -339,6 +416,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "report":
         from repro.experiments.report import generate_report
 

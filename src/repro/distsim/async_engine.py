@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.distsim.engine import EngineStats, Node
 from repro.distsim.messages import Message
 from repro.util.rng import RngLike, as_rng
+from repro.util.validation import check_loss_rate
 
 
 class AsyncNode:
@@ -77,6 +78,13 @@ class AsyncEngine:
     with a seeded generator, so runs are reproducible.  FIFO per link is
     *not* guaranteed (delays are independent), which is exactly the
     adversary the α-synchronizer must tame.
+
+    ``loss_rate`` adds the same Bernoulli message-loss process the
+    synchronous engine has: each posted message is dropped with that
+    probability (counted in ``stats.dropped``, still counted in
+    ``stats.messages``) and never scheduled.  Loss draws share the seeded
+    delay generator, and with the default ``loss_rate=0`` no extra draw is
+    made, so existing seeded runs are unchanged.
     """
 
     def __init__(
@@ -87,6 +95,7 @@ class AsyncEngine:
         max_delay: float = 1.5,
         seed: RngLike = None,
         fifo: bool = False,
+        loss_rate: float = 0.0,
     ):
         if len(nodes) != len(adjacency):
             raise ValueError("nodes/adjacency length mismatch")
@@ -107,6 +116,7 @@ class AsyncEngine:
                     raise ValueError("invalid adjacency")
         self.min_delay = float(min_delay)
         self.max_delay = float(max_delay)
+        self.loss_rate = check_loss_rate("loss_rate", loss_rate)
         #: with ``fifo=True`` each directed link delivers in send order
         #: (TCP-like); the α-synchronizer requires this.
         self.fifo = bool(fifo)
@@ -121,6 +131,11 @@ class AsyncEngine:
     def _post(self, sender: int, receiver: int, payload: Any) -> None:
         if receiver not in self._neighbor_sets[sender]:
             raise ValueError(f"node {sender} cannot send to non-neighbor {receiver}")
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            # lost in transit: accounted for, never scheduled
+            self.stats.messages += 1
+            self.stats.dropped += 1
+            return
         delay = float(self._rng.uniform(self.min_delay, self.max_delay))
         when = self.now + delay
         if self.fifo:

@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Sequence
 
 from repro.distsim.messages import Message
 from repro.obs.events import DistsimRound, get_recorder
+from repro.util.validation import check_loss_rate
 
 
 @dataclass
@@ -111,9 +112,7 @@ class SyncEngine:
         n = len(adjacency)
         if len(nodes) != n:
             raise ValueError(f"{len(nodes)} nodes for {n} topology vertices")
-        if not 0.0 <= loss_rate < 1.0:
-            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
-        self.loss_rate = float(loss_rate)
+        self.loss_rate = check_loss_rate("loss_rate", loss_rate)
         from repro.util.rng import as_rng
 
         self._loss_rng = as_rng(seed)

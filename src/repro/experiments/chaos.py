@@ -1,0 +1,173 @@
+"""Chaos harness: sweep injected fault rates across solvers.
+
+The robustness analogue of the benchmark matrix (:mod:`repro.obs.bench`):
+for each solver, first run a fault-free baseline on a pinned scenario, then
+re-run the same schedule under a grid of
+``FaultPlan.uniform_flaky(fail_rate) × miss_rate`` worlds and report
+
+* **coverage** — fraction of coverable tags read before the schedule ended
+  (liveness: non-permanent faults plus ACK-based retirement should keep this
+  at 1.0 until rates get extreme);
+* **slowdown** — slots-to-completion relative to the fault-free baseline
+  (the price of retries and excluded readers);
+* **outcome** — ``complete`` / ``exhausted`` / ``stalled``
+  (:class:`~repro.core.mcs.ScheduleOutcome`).
+
+Every point runs under a :class:`~repro.obs.collectors.RunCollector`, so the
+fault counters (``readers_failed``, ``reads_missed``, …) land in the record
+alongside the classic work counters, and the records append to
+``BENCH_chaos.json`` through the same versioned schema as the other
+families.  The CLI entry point is ``rfid-sched chaos``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.faults import FaultPlan
+from repro.obs.collectors import RunCollector
+from repro.obs.events import recording
+from repro.obs.export import merge_run, run_record
+
+PathLike = Union[str, Path]
+
+#: Scenario of the default chaos sweep: small enough for CI, dense enough
+#: that excluded readers actually change the candidate sets.
+DEFAULT_SCENARIO = dict(
+    num_readers=16,
+    num_tags=200,
+    side=50.0,
+    lambda_interference=10.0,
+    lambda_interrogation=5.0,
+    seed=11,
+)
+
+#: Default sweep axes (failure rate × miss rate) and solvers.
+DEFAULT_FAIL_RATES: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.2)
+DEFAULT_MISS_RATES: Tuple[float, ...] = (0.0, 0.1)
+DEFAULT_SOLVERS: Tuple[str, ...] = ("ptas", "ghc")
+
+
+def _run_point(
+    system,
+    solver_name: str,
+    schedule_seed: int,
+    plan: Optional[FaultPlan],
+    max_slots: int,
+):
+    """One schedule under *plan* (None = fault-free), traced; returns
+    ``(ScheduleResult, metrics, wall_clock_s)``."""
+    from repro.core.mcs import greedy_covering_schedule
+    from repro.core.oneshot import get_solver
+    from repro.experiments.figures import SOLVER_KWARGS
+
+    solver = get_solver(solver_name, **SOLVER_KWARGS.get(solver_name, {}))
+    collector = RunCollector()
+    t0 = time.perf_counter()
+    with recording(collector):
+        result = greedy_covering_schedule(
+            system, solver, seed=schedule_seed, faults=plan, max_slots=max_slots
+        )
+    wall = time.perf_counter() - t0
+    return result, collector.summary(), wall
+
+
+def run_chaos_sweep(
+    solvers: Sequence[str] = DEFAULT_SOLVERS,
+    fail_rates: Sequence[float] = DEFAULT_FAIL_RATES,
+    miss_rates: Sequence[float] = DEFAULT_MISS_RATES,
+    scenario_kwargs: Optional[dict] = None,
+    fault_seed: int = 97,
+    max_slots: int = 2048,
+) -> List[dict]:
+    """Run the failure-rate × miss-rate grid for each solver; returns
+    schema-valid ``bench="chaos"`` run records.
+
+    Each solver's fault-free baseline (``fail_rate=0, miss_rate=0`` without
+    a plan) is measured first and sets the denominator of every
+    ``slowdown`` in that solver's group; the fault worlds are pinned by
+    *fault_seed*, so equal arguments reproduce equal records (up to
+    wall-clock).
+    """
+    from repro.deployment.scenario import Scenario
+
+    scenario = Scenario(**(scenario_kwargs or DEFAULT_SCENARIO))
+    system = scenario.build()
+    coverable = int(system.covered_by_any().sum())
+    records: List[dict] = []
+    for solver_name in solvers:
+        baseline, _, _ = _run_point(
+            system, solver_name, scenario.seed, None, max_slots
+        )
+        baseline_slots = max(1, baseline.size)
+        for fail_rate in fail_rates:
+            for miss_rate in miss_rates:
+                plan = FaultPlan.uniform_flaky(
+                    system.num_readers,
+                    fail_rate,
+                    miss_rate=miss_rate,
+                    seed=fault_seed,
+                )
+                result, metrics, wall = _run_point(
+                    system, solver_name, scenario.seed, plan, max_slots
+                )
+                metrics["slots_to_completion"] = int(result.size)
+                metrics["complete"] = bool(result.complete)
+                metrics["outcome"] = result.outcome.value
+                metrics["coverage_fraction"] = (
+                    result.tags_read_total / coverable if coverable else 1.0
+                )
+                metrics["slowdown"] = result.size / baseline_slots
+                metrics["fault_fail_rate"] = float(fail_rate)
+                metrics["fault_miss_rate"] = float(miss_rate)
+                records.append(
+                    run_record(
+                        bench="chaos",
+                        label=f"{solver_name}_f{fail_rate:g}_m{miss_rate:g}",
+                        solver=solver_name,
+                        scenario=dict(
+                            scenario_kwargs or DEFAULT_SCENARIO,
+                            fault_seed=fault_seed,
+                        ),
+                        metrics=metrics,
+                        wall_clock_s=wall,
+                    )
+                )
+    return records
+
+
+def format_chaos_table(records: Sequence[dict]) -> str:
+    """Human-readable coverage-vs-failure-rate table, one row per record."""
+    rows = [
+        f"{'solver':<12} {'fail':>5} {'miss':>5} {'slots':>6} "
+        f"{'slowdown':>9} {'coverage':>9} {'outcome':<10} "
+        f"{'failed':>7} {'missed':>7}"
+    ]
+    for r in records:
+        m = r["metrics"]
+        rows.append(
+            f"{r['solver']:<12} "
+            f"{m['fault_fail_rate']:>5.2f} {m['fault_miss_rate']:>5.2f} "
+            f"{m['slots_to_completion']:>6d} "
+            f"{m['slowdown']:>9.2f} {m['coverage_fraction']:>9.3f} "
+            f"{m['outcome']:<10} "
+            f"{m.get('readers_failed', 0):>7d} {m.get('reads_missed', 0):>7d}"
+        )
+    if len(rows) == 1:
+        rows.append("(no chaos records)")
+    return "\n".join(rows)
+
+
+def write_chaos_files(
+    records: Sequence[dict], out_dir: PathLike = "."
+) -> Path:
+    """Append *records* to ``BENCH_chaos.json`` in *out_dir*; returns the
+    path written."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / "BENCH_chaos.json"
+    for record in records:
+        merge_run(path, record)
+    return path

@@ -1,0 +1,40 @@
+"""Deterministic, seeded fault injection for the scheduling stack.
+
+Three pieces (see ``docs/robustness.md`` for the contract):
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` and the per-reader failure
+  processes (:class:`PermanentCrash`, :class:`TransientCrash`,
+  :class:`FlakyActivation`) plus the per-read ``miss_rate``;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the slot-boundary
+  realisation whose draws depend only on ``(plan.seed, slot)`` so every
+  solver sees the same degraded world;
+* :mod:`repro.faults.policy` — :class:`FaultPolicy`, the driver-side
+  degradation knobs (heartbeat suspicion, solver deadlines with exponential
+  backoff, the stall guard).
+
+The hardened driver entry point is
+``greedy_covering_schedule(..., faults=FaultPlan(...), policy=FaultPolicy(...))``
+in :mod:`repro.core.mcs`; the reproducible degradation experiment is
+:mod:`repro.experiments.chaos` / ``rfid-sched chaos``.
+"""
+
+from repro.faults.injector import FaultInjector, SlotFaultRecord
+from repro.faults.plan import (
+    FaultPlan,
+    FlakyActivation,
+    PermanentCrash,
+    ReaderFault,
+    TransientCrash,
+)
+from repro.faults.policy import FaultPolicy
+
+__all__ = [
+    "FaultPlan",
+    "FaultPolicy",
+    "FaultInjector",
+    "SlotFaultRecord",
+    "PermanentCrash",
+    "TransientCrash",
+    "FlakyActivation",
+    "ReaderFault",
+]

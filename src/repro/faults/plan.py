@@ -1,0 +1,139 @@
+"""Declarative fault plans: which readers fail when, and how reads miss.
+
+The MCS loop (Definitions 4–5) assumes ideal hardware — every activated
+reader runs its slot and every well-covered tag is read.  Dense deployments
+are exactly where that assumption breaks (IE-RAP motivates its protocol with
+reader outages; the AFSA line exists because tag replies are probabilistically
+missed), so this module describes the degraded world explicitly:
+
+* three per-reader failure processes — :class:`PermanentCrash`,
+  :class:`TransientCrash` and :class:`FlakyActivation`;
+* one per-read imperfection — a global ``miss_rate`` of false-negative reads
+  (a served tag's reply is lost and the tag must be retried later).
+
+A :class:`FaultPlan` is **pure data**: frozen, validated at construction via
+:mod:`repro.util.validation`, and seeded.  All randomness is realised by the
+:class:`~repro.faults.injector.FaultInjector`, which derives one RNG per
+time-slot from ``plan.seed`` alone — so the fault trace is a pure function of
+``(plan, slot)`` and every solver sees the same degraded world regardless of
+what it schedules (see ``docs/robustness.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple, Union
+
+from repro.util.validation import check_loss_rate, check_nonnegative_int
+
+
+@dataclass(frozen=True)
+class PermanentCrash:
+    """Reader *reader* crashes at the start of slot *at_slot*, forever."""
+
+    reader: int
+    at_slot: int
+
+    def __post_init__(self) -> None:
+        check_nonnegative_int("reader", self.reader)
+        check_nonnegative_int("at_slot", self.at_slot)
+
+    def is_down(self, slot: int) -> bool:
+        """Whether the reader is down during *slot*."""
+        return slot >= self.at_slot
+
+
+@dataclass(frozen=True)
+class TransientCrash:
+    """Reader *reader* is down for *duration* slots starting at *at_slot*,
+    then recovers."""
+
+    reader: int
+    at_slot: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        check_nonnegative_int("reader", self.reader)
+        check_nonnegative_int("at_slot", self.at_slot)
+        check_nonnegative_int("duration", self.duration, minimum=1)
+
+    def is_down(self, slot: int) -> bool:
+        """Whether the reader is down during *slot*."""
+        return self.at_slot <= slot < self.at_slot + self.duration
+
+
+@dataclass(frozen=True)
+class FlakyActivation:
+    """Reader *reader* fails each activation independently with probability
+    *p_fail* (sampled per slot by the injector's slot RNG)."""
+
+    reader: int
+    p_fail: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative_int("reader", self.reader)
+        # 1.0 would be a permanent crash in disguise; use PermanentCrash.
+        check_loss_rate("p_fail", self.p_fail)
+
+
+#: Any of the three per-reader failure processes.
+ReaderFault = Union[PermanentCrash, TransientCrash, FlakyActivation]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded description of a degraded deployment.
+
+    Parameters
+    ----------
+    reader_faults:
+        Any mix of :class:`PermanentCrash`, :class:`TransientCrash` and
+        :class:`FlakyActivation` entries; several entries may target the
+        same reader (their downtimes union).
+    miss_rate:
+        Probability that an individual tag read is lost (false negative).
+        Missed tags stay unread and are retried by the ACK-based retirement
+        rule in the MCS driver.
+    seed:
+        Entropy for every stochastic process in the plan.  Two injectors
+        built from equal plans produce byte-identical fault traces.
+    """
+
+    reader_faults: Tuple[ReaderFault, ...] = field(default_factory=tuple)
+    miss_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        faults = tuple(self.reader_faults)
+        for f in faults:
+            if not isinstance(f, (PermanentCrash, TransientCrash, FlakyActivation)):
+                raise ValueError(
+                    f"reader_faults entries must be PermanentCrash, "
+                    f"TransientCrash or FlakyActivation, got {f!r}"
+                )
+        object.__setattr__(self, "reader_faults", faults)
+        check_loss_rate("miss_rate", self.miss_rate)
+        check_nonnegative_int("seed", self.seed)
+
+    @property
+    def has_permanent_faults(self) -> bool:
+        """Whether any reader is lost forever (liveness of tags covered only
+        by such readers cannot be guaranteed)."""
+        return any(isinstance(f, PermanentCrash) for f in self.reader_faults)
+
+    def max_reader(self) -> int:
+        """Largest reader id referenced by the plan (-1 when empty); the
+        injector checks it against the system size."""
+        return max((f.reader for f in self.reader_faults), default=-1)
+
+    @staticmethod
+    def uniform_flaky(
+        num_readers: int, p_fail: float, miss_rate: float = 0.0, seed: int = 0
+    ) -> "FaultPlan":
+        """Every reader flaky with the same *p_fail* — the chaos harness's
+        sweep axis (failure rate × miss rate)."""
+        check_nonnegative_int("num_readers", num_readers)
+        faults = tuple(
+            FlakyActivation(reader=r, p_fail=p_fail) for r in range(num_readers)
+        ) if p_fail > 0.0 else ()
+        return FaultPlan(reader_faults=faults, miss_rate=miss_rate, seed=seed)

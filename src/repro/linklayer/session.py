@@ -21,6 +21,7 @@ from repro.linklayer.treewalk import TreeWalkReader
 from repro.model.system import RFIDSystem
 from repro.obs.events import LinkLayerSession, get_recorder
 from repro.util.rng import RngLike, as_rng, spawn_rngs
+from repro.util.validation import check_loss_rate
 
 Protocol = Literal["aloha", "treewalk"]
 
@@ -58,20 +59,41 @@ def run_inventory_session(
     seed: RngLike = None,
     aloha: Optional[FramedAlohaReader] = None,
     treewalk: Optional[TreeWalkReader] = None,
+    miss_rate: float = 0.0,
+    miss_tags=None,
 ) -> InventoryResult:
     """Run the link layer for one slot.
 
     Each operational active reader inventories its well-covered unread tags
     with the chosen protocol.  Returns per-reader micro-slot counts; tags
     identified are exactly the well-covered tags (both protocols always
-    terminate with every contender identified).
+    terminate with every contender identified) minus any false-negative
+    reads.
+
+    Imperfect reads: ``miss_tags`` names tag ids whose reads are lost this
+    slot (the fault injector's choice), or ``miss_rate`` draws a Bernoulli
+    miss per well-covered tag.  A missed tag still arbitrated — its
+    micro-slot cost is paid — but it is not counted in ``tags_read``, so
+    ACK-based retirement will retry it.  With the defaults the session is
+    bit-identical to the historical behaviour (no extra RNG draws).
     """
+    check_loss_rate("miss_rate", miss_rate)
     idx = system._normalize_active(active)
     well = system.well_covered_tags(idx, unread)
     if len(well) == 0:
         return InventoryResult(
             active=idx, tags_by_reader={}, micro_slots_by_reader={}, tags_read=0
         )
+
+    if miss_tags is not None:
+        missed = np.intersect1d(np.asarray(miss_tags, dtype=np.int64), well)
+    elif miss_rate > 0.0:
+        # Dedicated draw so the per-reader protocol streams stay untouched
+        # when the miss process is off.
+        miss_gen = as_rng(seed)
+        missed = well[miss_gen.random(len(well)) < miss_rate]
+    else:
+        missed = np.empty(0, dtype=np.int64)
 
     # Assign each well-covered tag to its unique covering reader.
     cov = system.coverage[np.ix_(well, idx)]
@@ -107,7 +129,7 @@ def run_inventory_session(
         active=idx,
         tags_by_reader=tags_by_reader,
         micro_slots_by_reader=micro,
-        tags_read=int(len(well)),
+        tags_read=int(len(well) - len(missed)),
     )
     rec = get_recorder()
     if rec.enabled:

@@ -29,11 +29,15 @@ from repro.obs.events import (
     DistsimRound,
     LinkLayerSession,
     NullRecorder,
+    ReaderFailed,
+    ReadMissed,
     Recorder,
+    ScheduleDegraded,
     ScheduleDone,
     SlotEnd,
     SlotStart,
     SolverCall,
+    SolverDeadline,
     StageTiming,
     SweepPoint,
     TraceRecorder,
@@ -64,6 +68,10 @@ __all__ = [
     "DistsimRound",
     "ScheduleDone",
     "StageTiming",
+    "ReaderFailed",
+    "ReadMissed",
+    "SolverDeadline",
+    "ScheduleDegraded",
     "SweepPoint",
     "Recorder",
     "NullRecorder",

@@ -16,11 +16,15 @@ from repro.obs.events import (
     CollisionTally,
     DistsimRound,
     LinkLayerSession,
+    ReaderFailed,
+    ReadMissed,
     Recorder,
+    ScheduleDegraded,
     ScheduleDone,
     SlotEnd,
     SlotStart,
     SolverCall,
+    SolverDeadline,
     StageTiming,
     SweepPoint,
 )
@@ -46,6 +50,12 @@ class RunCollector(Recorder):
         :class:`Stopwatch` keyed by MCS driver stage (``"solve"`` /
         ``"inventory"`` / ``"retire"``) — the per-stage wall-clock breakdown
         behind ``rfid-sched bench --profile``.
+    fault_counters:
+        Tallies of the robustness events (``readers_failed``,
+        ``reads_missed``, ``solver_deadline_misses``,
+        ``schedule_degradations``).  Exported by :meth:`summary` only when
+        the fault layer emitted at least one event, so default-path records
+        keep exactly their historical shape.
     """
 
     enabled = True
@@ -65,6 +75,13 @@ class RunCollector(Recorder):
             "distsim_dropped": 0,
             "sweep_points": 0,
         }
+        self.fault_counters: Dict[str, int] = {
+            "readers_failed": 0,
+            "reads_missed": 0,
+            "solver_deadline_misses": 0,
+            "schedule_degradations": 0,
+        }
+        self._fault_events_seen = False
         self.solver_times = Stopwatch()
         self.stage_times = Stopwatch()
         self.sweep_times = Stopwatch()
@@ -112,6 +129,18 @@ class RunCollector(Recorder):
             self.counters["distsim_dropped"] += event.dropped
         elif isinstance(event, StageTiming):
             self.stage_times.record(event.stage, event.seconds)
+        elif isinstance(event, ReaderFailed):
+            self.fault_counters["readers_failed"] += 1
+            self._fault_events_seen = True
+        elif isinstance(event, ReadMissed):
+            self.fault_counters["reads_missed"] += event.tags_missed
+            self._fault_events_seen = True
+        elif isinstance(event, SolverDeadline):
+            self.fault_counters["solver_deadline_misses"] += 1
+            self._fault_events_seen = True
+        elif isinstance(event, ScheduleDegraded):
+            self.fault_counters["schedule_degradations"] += 1
+            self._fault_events_seen = True
         elif isinstance(event, ScheduleDone):
             self.schedule_complete = event.complete
         elif isinstance(event, SweepPoint):
@@ -138,6 +167,8 @@ class RunCollector(Recorder):
             out["stage_seconds_by_name"] = {
                 lb: self.stage_times.total(lb) for lb in self.stage_times.labels()
             }
+        if self._fault_events_seen:
+            out.update(self.fault_counters)
         out["tags_per_slot"] = list(self.tags_per_slot)
         out["sets_per_slot"] = list(self.sets_per_slot)
         if self.schedule_complete is not None:

@@ -140,6 +140,49 @@ class StageTiming:
 
 
 @dataclass(frozen=True)
+class ReaderFailed:
+    """The fault-tolerant MCS driver suspected reader *reader* at slot
+    *slot* after *missed_heartbeats* consecutive missed heartbeats; the
+    reader is excluded from candidate sets until it answers again."""
+
+    slot: int
+    reader: int
+    missed_heartbeats: int
+
+
+@dataclass(frozen=True)
+class ReadMissed:
+    """*tags_missed* of slot *slot*'s served tags had their reads lost to
+    the imperfect-read process; under ACK-based retirement they stay unread
+    and are retried in later slots."""
+
+    slot: int
+    tags_missed: int
+
+
+@dataclass(frozen=True)
+class SolverDeadline:
+    """The one-shot solve of slot *slot* by *solver* took *seconds* of
+    wall-clock, exceeding its current budget of *budget_s* seconds."""
+
+    slot: int
+    solver: str
+    seconds: float
+    budget_s: float
+
+
+@dataclass(frozen=True)
+class ScheduleDegraded:
+    """At slot *slot* the driver stepped down the degradation ladder from
+    policy *from_policy* to *to_policy* (ladder: primary solver → fallback
+    solver → greedy singleton)."""
+
+    slot: int
+    from_policy: str
+    to_policy: str
+
+
+@dataclass(frozen=True)
 class SweepPoint:
     """One replicated sweep measurement: ``measure(value, seed)`` at sweep
     parameter *param* took *seconds*."""
@@ -161,6 +204,10 @@ EVENT_TYPES: Tuple[type, ...] = (
     DistsimRound,
     ScheduleDone,
     StageTiming,
+    ReaderFailed,
+    ReadMissed,
+    SolverDeadline,
+    ScheduleDegraded,
     SweepPoint,
 )
 

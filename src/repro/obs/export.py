@@ -35,7 +35,7 @@ PathLike = Union[str, Path]
 
 #: Every field a run record may carry at its top level, with its meaning.
 RUN_FIELDS: Dict[str, str] = {
-    "bench": "benchmark family, 'oneshot' or 'mcs'",
+    "bench": "benchmark family, 'oneshot', 'mcs' or 'chaos'",
     "label": "human-readable scenario point label",
     "solver": "registry name of the solver under measurement",
     "scenario": "generator parameters: readers, tags, side, lambdas, seed",
@@ -70,6 +70,15 @@ METRIC_FIELDS: Dict[str, str] = {
     "distsim_messages": "messages sent through the distsim engine",
     "distsim_dropped": "messages lost to the engine's loss process",
     "sweep_points": "replicated sweep measurements recorded",
+    "readers_failed": "reader suspicion transitions (heartbeat timeouts)",
+    "reads_missed": "tag reads lost to the imperfect-read process (retried later)",
+    "solver_deadline_misses": "one-shot solves that exceeded their deadline budget",
+    "schedule_degradations": "degradation-ladder steps taken by the driver",
+    "outcome": "schedule termination status: complete, exhausted or stalled",
+    "coverage_fraction": "fraction of coverable tags read before the schedule ended",
+    "slowdown": "slots-to-completion ratio versus the fault-free baseline",
+    "fault_fail_rate": "per-slot flaky-activation probability injected",
+    "fault_miss_rate": "per-read miss probability injected",
 }
 
 #: Metric fields every run of a given bench family must include.
@@ -78,6 +87,9 @@ REQUIRED_METRICS: Dict[str, List[str]] = {
                 "solver_wall_clock_s", "sets_evaluated"],
     "mcs": ["slots_to_completion", "tags_read", "complete", "solver_calls",
             "solver_wall_clock_s", "sets_evaluated", "tags_per_slot"],
+    "chaos": ["slots_to_completion", "tags_read", "complete", "outcome",
+              "coverage_fraction", "slowdown", "fault_fail_rate",
+              "fault_miss_rate"],
 }
 
 

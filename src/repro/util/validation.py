@@ -48,6 +48,30 @@ def check_probability(name: str, value: float) -> float:
     return check_in_range(name, value, 0.0, 1.0)
 
 
+def check_loss_rate(name: str, value: float) -> float:
+    """Validate a message-loss / failure rate in [0, 1).
+
+    A rate of exactly 1 would silence a channel forever, which every caller
+    (the distsim engines, the fault injector's flaky processes) treats as a
+    configuration error rather than a simulation; the half-open interval
+    rejects it with a uniform message.
+    """
+    return check_in_range(name, value, 0.0, 1.0, high_open=True)
+
+
+def check_nonnegative_int(name: str, value: int, minimum: int = 0) -> int:
+    """Validate that *value* is an integer ``>= minimum`` (default 0).
+
+    Booleans are rejected (``True`` silently meaning 1 hides bugs in fault
+    plans), as are floats that merely happen to be integral.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return int(value)
+
+
 def check_finite_array(name: str, arr: np.ndarray) -> np.ndarray:
     """Validate that *arr* contains only finite values; returns the array."""
     arr = np.asarray(arr)

@@ -1,0 +1,142 @@
+"""Tests for the chaos harness (``repro.experiments.chaos``) and its CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.chaos import (
+    format_chaos_table,
+    run_chaos_sweep,
+    write_chaos_files,
+)
+from repro.obs.export import load_bench, validate_run
+
+SMALL_SCENARIO = dict(
+    num_readers=6,
+    num_tags=40,
+    side=25.0,
+    lambda_interference=10.0,
+    lambda_interrogation=6.0,
+    seed=11,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_records():
+    """One small sweep shared by the schema/content assertions."""
+    return run_chaos_sweep(
+        solvers=("ghc",),
+        fail_rates=(0.0, 0.2),
+        miss_rates=(0.0, 0.2),
+        scenario_kwargs=SMALL_SCENARIO,
+        max_slots=512,
+    )
+
+
+class TestSweep:
+    def test_grid_shape_and_schema(self, sweep_records):
+        assert len(sweep_records) == 4  # 1 solver x 2 fail x 2 miss
+        for record in sweep_records:
+            validate_run(record)
+            assert record["bench"] == "chaos"
+            assert record["solver"] == "ghc"
+            assert record["scenario"]["fault_seed"] == 97
+
+    def test_fault_free_point_matches_baseline(self, sweep_records):
+        free = next(
+            r["metrics"]
+            for r in sweep_records
+            if r["metrics"]["fault_fail_rate"] == 0.0
+            and r["metrics"]["fault_miss_rate"] == 0.0
+        )
+        assert free["slowdown"] == 1.0
+        assert free["coverage_fraction"] == 1.0
+        assert free["outcome"] == "complete"
+
+    def test_faulted_points_slow_but_live(self, sweep_records):
+        for record in sweep_records:
+            m = record["metrics"]
+            if m["fault_fail_rate"] == 0.0 and m["fault_miss_rate"] == 0.0:
+                continue
+            assert m["slowdown"] >= 1.0
+            if m["outcome"] == "complete":
+                assert m["coverage_fraction"] == 1.0
+
+    def test_records_are_reproducible(self, sweep_records):
+        again = run_chaos_sweep(
+            solvers=("ghc",),
+            fail_rates=(0.0, 0.2),
+            miss_rates=(0.0, 0.2),
+            scenario_kwargs=SMALL_SCENARIO,
+            max_slots=512,
+        )
+        for a, b in zip(sweep_records, again):
+            assert a["label"] == b["label"]
+            m_a = {k: v for k, v in a["metrics"].items()
+                   if not k.endswith(("_s", "_by_name"))}
+            m_b = {k: v for k, v in b["metrics"].items()
+                   if not k.endswith(("_s", "_by_name"))}
+            assert m_a == m_b
+
+    def test_table_lists_every_record(self, sweep_records):
+        table = format_chaos_table(sweep_records)
+        assert table.count("ghc") == len(sweep_records)
+        assert "coverage" in table and "outcome" in table
+
+    def test_table_handles_empty(self):
+        assert "(no chaos records)" in format_chaos_table([])
+
+
+@pytest.mark.chaos_smoke
+def test_chaos_smoke_end_to_end(tmp_path):
+    """Sweep -> BENCH_chaos.json -> load_bench round trip, schema-valid."""
+    records = run_chaos_sweep(
+        solvers=("ghc",),
+        fail_rates=(0.0, 0.1),
+        miss_rates=(0.0,),
+        scenario_kwargs=SMALL_SCENARIO,
+        max_slots=512,
+    )
+    path = write_chaos_files(records, tmp_path)
+    assert path == tmp_path / "BENCH_chaos.json"
+    data = load_bench(path)
+    assert len(data["runs"]) == len(records)
+    for run in data["runs"]:
+        validate_run(run)
+    # appends, never rewrites
+    write_chaos_files(records[:1], tmp_path)
+    assert len(load_bench(path)["runs"]) == len(records) + 1
+
+
+class TestCLI:
+    def test_dry_run_writes_nothing(self, tmp_path, capsys):
+        code = main([
+            "chaos", "--dry-run",
+            "--solvers", "ghc",
+            "--fail-rates", "0", "0.1",
+            "--miss-rates", "0",
+            "--readers", "6", "--tags", "40", "--side", "25",
+            "--lambda-r", "6",
+            "--max-slots", "512",
+            "--out-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dry run" in out
+        assert "ghc" in out
+        assert not (tmp_path / "BENCH_chaos.json").exists()
+
+    def test_writes_bench_file(self, tmp_path, capsys):
+        code = main([
+            "chaos",
+            "--solvers", "ghc",
+            "--fail-rates", "0",
+            "--miss-rates", "0",
+            "--readers", "6", "--tags", "40", "--side", "25",
+            "--lambda-r", "6",
+            "--max-slots", "512",
+            "--out-dir", str(tmp_path),
+        ])
+        assert code == 0
+        data = load_bench(tmp_path / "BENCH_chaos.json")
+        assert len(data["runs"]) == 1
+        assert "appended 1 chaos runs" in capsys.readouterr().out

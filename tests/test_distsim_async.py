@@ -162,3 +162,67 @@ class TestAlphaSynchronizer:
         inner = [CountingSyncNode(i) for i in range(n)]
         _, stats = run_synchronous_over_async(adj, inner, rounds=8, seed=0)
         assert stats.messages > engine.stats.messages
+
+
+class ChatterNode(AsyncNode):
+    """Broadcasts a burst of messages at start; logs whatever arrives."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.log = []
+
+    def on_start(self):
+        for k in range(10):
+            self.broadcast(("chatter", k))
+
+    def on_message(self, sender, payload, now):
+        self.log.append((sender, payload, now))
+
+
+class TestAsyncMessageLoss:
+    def test_loss_rate_validation(self):
+        nodes = [PingNode(i) for i in range(2)]
+        with pytest.raises(ValueError):
+            AsyncEngine(path_adjacency(2), nodes, loss_rate=1.0)
+        with pytest.raises(ValueError):
+            AsyncEngine(path_adjacency(2), nodes, loss_rate=-0.1)
+
+    def test_default_has_no_loss_and_unchanged_stream(self):
+        def run(loss_kwargs):
+            nodes = [PingNode(i) for i in range(4)]
+            engine = AsyncEngine(path_adjacency(4), nodes, seed=5, **loss_kwargs)
+            engine.run()
+            return [n.log for n in nodes], engine.stats
+
+        logs_default, stats_default = run({})
+        logs_zero, stats_zero = run({"loss_rate": 0.0})
+        # loss_rate=0 adds no RNG draws: identical delivery order and times
+        assert logs_default == logs_zero
+        assert stats_default.dropped == stats_zero.dropped == 0
+
+    def test_drops_are_counted_and_deterministic(self):
+        def run():
+            nodes = [ChatterNode(i) for i in range(6)]
+            engine = AsyncEngine(
+                path_adjacency(6), nodes, seed=9, loss_rate=0.5
+            )
+            engine.run()
+            return [n.log for n in nodes], engine.stats
+
+        logs_a, stats_a = run()
+        logs_b, stats_b = run()
+        assert logs_a == logs_b
+        assert (stats_a.messages, stats_a.dropped) == (
+            stats_b.messages, stats_b.dropped
+        )
+        assert stats_a.dropped > 0
+        # dropped messages are still accounted in the posted total
+        delivered = sum(len(log) for log in logs_a)
+        assert delivered + stats_a.dropped == stats_a.messages
+
+    def test_heavy_loss_still_terminates(self):
+        nodes = [PingNode(i) for i in range(3)]
+        engine = AsyncEngine(path_adjacency(3), nodes, seed=1, loss_rate=0.99)
+        stats = engine.run()
+        assert engine.pending == 0
+        assert stats.dropped <= stats.messages

@@ -1,0 +1,171 @@
+"""Unit tests for the fault-injection subsystem (``repro.faults``)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultPolicy,
+    FlakyActivation,
+    PermanentCrash,
+    TransientCrash,
+)
+
+
+class TestPlanValidation:
+    def test_empty_plan_is_valid(self):
+        plan = FaultPlan()
+        assert plan.reader_faults == ()
+        assert plan.miss_rate == 0.0
+        assert not plan.has_permanent_faults
+        assert plan.max_reader() == -1
+
+    @pytest.mark.parametrize("p", [-0.1, 1.0, 1.5])
+    def test_flaky_probability_bounds(self, p):
+        with pytest.raises(ValueError):
+            FlakyActivation(reader=0, p_fail=p)
+
+    @pytest.mark.parametrize("p", [-0.01, 1.0])
+    def test_miss_rate_bounds(self, p):
+        with pytest.raises(ValueError):
+            FaultPlan(miss_rate=p)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            TransientCrash(reader=0, at_slot=2, duration=0)
+        with pytest.raises(ValueError, match="duration"):
+            TransientCrash(reader=0, at_slot=2, duration=-3)
+
+    def test_negative_reader_and_slot_rejected(self):
+        with pytest.raises(ValueError, match="reader"):
+            PermanentCrash(reader=-1, at_slot=0)
+        with pytest.raises(ValueError, match="at_slot"):
+            PermanentCrash(reader=0, at_slot=-1)
+
+    def test_non_fault_entry_rejected(self):
+        with pytest.raises(ValueError, match="reader_faults entries"):
+            FaultPlan(reader_faults=("crash",))
+
+    def test_list_coerced_to_tuple(self):
+        plan = FaultPlan(reader_faults=[PermanentCrash(0, 1)])
+        assert isinstance(plan.reader_faults, tuple)
+
+    def test_permanent_flag_and_max_reader(self):
+        plan = FaultPlan(
+            reader_faults=(PermanentCrash(4, 0), FlakyActivation(7, 0.5))
+        )
+        assert plan.has_permanent_faults
+        assert plan.max_reader() == 7
+
+    def test_uniform_flaky_builder(self):
+        plan = FaultPlan.uniform_flaky(3, 0.2, miss_rate=0.1, seed=5)
+        assert len(plan.reader_faults) == 3
+        assert all(f.p_fail == 0.2 for f in plan.reader_faults)
+        assert plan.miss_rate == 0.1 and plan.seed == 5
+        # zero rate keeps the plan empty (fault-free baseline)
+        assert FaultPlan.uniform_flaky(3, 0.0).reader_faults == ()
+
+
+class TestPolicyValidation:
+    def test_defaults_valid(self):
+        FaultPolicy()
+
+    def test_zero_deadline_is_legal(self):
+        assert FaultPolicy(solver_deadline_s=0.0).solver_deadline_s == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"heartbeat_timeout": 0},
+            {"solver_deadline_s": -0.1},
+            {"deadline_retries": -1},
+            {"backoff_factor": 0.5},
+            {"max_stall_slots": 0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPolicy(**kwargs)
+
+
+class TestInjector:
+    def test_reader_bound_checked(self):
+        plan = FaultPlan(reader_faults=(PermanentCrash(5, 0),))
+        with pytest.raises(ValueError, match="reader 5"):
+            FaultInjector(plan, num_readers=4, num_tags=10)
+
+    def test_permanent_window_exact(self):
+        plan = FaultPlan(reader_faults=(PermanentCrash(1, 3),))
+        inj = FaultInjector(plan, num_readers=3, num_tags=0)
+        for slot in range(3):
+            assert not inj.failed_mask(slot).any()
+        for slot in range(3, 8):
+            assert inj.failed_mask(slot).tolist() == [False, True, False]
+
+    def test_transient_window_exact(self):
+        plan = FaultPlan(reader_faults=(TransientCrash(0, 2, 3),))
+        inj = FaultInjector(plan, num_readers=2, num_tags=0)
+        down = [inj.failed_mask(s)[0] for s in range(7)]
+        assert down == [False, False, True, True, True, False, False]
+
+    def test_masks_are_read_only(self):
+        inj = FaultInjector(FaultPlan(), 3, 4)
+        with pytest.raises(ValueError):
+            inj.failed_mask(0)[0] = True
+
+    def test_same_plan_same_draws(self):
+        plan = FaultPlan.uniform_flaky(6, 0.4, miss_rate=0.3, seed=17)
+        a = FaultInjector(plan, 6, 40)
+        b = FaultInjector(plan, 6, 40)
+        tags = np.arange(40)
+        for slot in range(20):
+            np.testing.assert_array_equal(
+                a.failed_mask(slot), b.failed_mask(slot)
+            )
+            np.testing.assert_array_equal(
+                a.missed_tags(slot, tags), b.missed_tags(slot, tags)
+            )
+        assert a.trace_fingerprint() == b.trace_fingerprint()
+
+    def test_draws_do_not_depend_on_query_order(self):
+        plan = FaultPlan.uniform_flaky(5, 0.3, miss_rate=0.2, seed=23)
+        fwd = FaultInjector(plan, 5, 30)
+        rev = FaultInjector(plan, 5, 30)
+        masks_fwd = [fwd.failed_mask(s).copy() for s in range(10)]
+        masks_rev = [rev.failed_mask(s).copy() for s in reversed(range(10))]
+        for s in range(10):
+            np.testing.assert_array_equal(masks_fwd[s], masks_rev[9 - s])
+
+    def test_miss_outcome_is_per_tag(self):
+        # querying a subset returns exactly the full query's intersection
+        plan = FaultPlan(miss_rate=0.5, seed=3)
+        inj = FaultInjector(plan, 2, 50)
+        full = inj.missed_tags(4, np.arange(50))
+        subset = np.arange(0, 50, 2)
+        part = FaultInjector(plan, 2, 50).missed_tags(4, subset)
+        np.testing.assert_array_equal(part, np.intersect1d(full, subset))
+
+    def test_different_seeds_differ(self):
+        tags = np.arange(60)
+        a = FaultInjector(FaultPlan(miss_rate=0.5, seed=1), 2, 60)
+        b = FaultInjector(FaultPlan(miss_rate=0.5, seed=2), 2, 60)
+        assert any(
+            a.missed_tags(s, tags).tolist() != b.missed_tags(s, tags).tolist()
+            for s in range(5)
+        )
+
+    def test_flaky_entries_union(self):
+        plan = FaultPlan(
+            reader_faults=(FlakyActivation(0, 0.5), FlakyActivation(0, 0.5))
+        )
+        inj = FaultInjector(plan, 1, 0)
+        rate = np.mean([inj.failed_mask(s)[0] for s in range(2000)])
+        assert 0.70 < rate < 0.80  # 1 - 0.5 * 0.5 = 0.75
+
+    def test_trace_records_slot_order(self):
+        plan = FaultPlan(miss_rate=0.5, seed=0)
+        inj = FaultInjector(plan, 2, 10)
+        inj.failed_mask(3)
+        inj.missed_tags(1, np.arange(10))
+        assert [r.slot for r in inj.trace] == [1, 3]

@@ -6,6 +6,8 @@ import pytest
 from repro.util.validation import (
     check_finite_array,
     check_in_range,
+    check_loss_rate,
+    check_nonnegative_int,
     check_positive,
     check_probability,
 )
@@ -87,3 +89,38 @@ class TestCheckFiniteArray:
 
     def test_empty_ok(self):
         assert check_finite_array("a", np.array([])).size == 0
+
+
+class TestCheckLossRate:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 0.999])
+    def test_valid(self, p):
+        assert check_loss_rate("loss_rate", p) == p
+
+    @pytest.mark.parametrize("p", [-0.01, 1.0, 1.5, float("nan")])
+    def test_invalid(self, p):
+        with pytest.raises(ValueError):
+            check_loss_rate("loss_rate", p)
+
+    def test_message_names_the_argument(self):
+        with pytest.raises(ValueError, match="p_fail must be in"):
+            check_loss_rate("p_fail", 1.0)
+
+
+class TestCheckNonnegativeInt:
+    def test_accepts_int_and_numpy_int(self):
+        assert check_nonnegative_int("n", 3) == 3
+        assert check_nonnegative_int("n", np.int64(0)) == 0
+
+    def test_minimum(self):
+        assert check_nonnegative_int("n", 1, minimum=1) == 1
+        with pytest.raises(ValueError, match="n must be >= 1"):
+            check_nonnegative_int("n", 0, minimum=1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="n must be >= 0"):
+            check_nonnegative_int("n", -1)
+
+    @pytest.mark.parametrize("value", [True, 1.0, "2", None])
+    def test_rejects_non_int(self, value):
+        with pytest.raises(ValueError, match="must be an integer"):
+            check_nonnegative_int("n", value)
