@@ -9,12 +9,24 @@ solve one instance (``solve``) and regenerate an evaluation figure
     rfid-sched figure fig8 --seeds 0 1 2
     rfid-sched list-solvers
     rfid-sched bench --quick
+    rfid-sched bench compare --against HEAD-committed
     rfid-sched chaos --fail-rates 0 0.1 0.2
+    rfid-sched trace run --quick --out trace.json
 
 ``bench`` runs the pinned-seed benchmark matrix under tracing and appends
 the runs to ``BENCH_oneshot.json`` / ``BENCH_mcs.json`` (see
 ``docs/observability.md``); ``chaos`` sweeps injected fault rates and
 appends to ``BENCH_chaos.json`` (see ``docs/robustness.md``).
+
+``bench compare`` audits the appended BENCH trajectories for work-counter
+drift and wall-clock regressions, exiting non-zero on drift — the CI gate
+(exit-code contract in ``docs/observability.md``).  Because ``bench``
+itself takes flags, ``compare`` is dispatched by :func:`main` before the
+main parser runs, keeping ``bench --quick`` untouched.
+
+``trace run`` executes one covering schedule under span tracing and writes
+a Chrome trace-event JSON (openable in Perfetto / ``chrome://tracing``);
+``trace convert`` turns a streamed JSONL event log into the same format.
 """
 
 from __future__ import annotations
@@ -195,6 +207,115 @@ def _build_parser() -> argparse.ArgumentParser:
         "--dry-run",
         action="store_true",
         help="run and print the sweep without touching BENCH_chaos.json",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="span-trace a run and export it for Perfetto / chrome://tracing",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trun = trace_sub.add_parser(
+        "run", help="run a covering schedule under tracing and export the spans"
+    )
+    trun.add_argument("--solver", default="ptas", help="solver name (see list-solvers)")
+    trun.add_argument("--readers", type=int, default=50)
+    trun.add_argument("--tags", type=int, default=1200)
+    trun.add_argument("--side", type=float, default=100.0)
+    trun.add_argument("--lambda-R", type=float, default=10.0, dest="lambda_R")
+    trun.add_argument("--lambda-r", type=float, default=5.0, dest="lambda_r")
+    trun.add_argument("--seed", type=int, default=0)
+    trun.add_argument(
+        "--quick",
+        action="store_true",
+        help="trace the first quick-matrix scenario (12 readers, 100 tags, "
+        "pinned seed) instead of the flag-built one",
+    )
+    trun.add_argument(
+        "--linklayer",
+        choices=["aloha", "treewalk"],
+        default=None,
+        help="also run (and trace) the link-layer inventory stage",
+    )
+    trun.add_argument(
+        "--incremental",
+        action="store_true",
+        help="trace the schedule under the cross-slot pruning layer",
+    )
+    trun.add_argument(
+        "--out", default="trace.json", help="Chrome trace-event output path"
+    )
+    trun.add_argument(
+        "--jsonl",
+        default=None,
+        help="also stream raw events to this JSONL file while running",
+    )
+    trun.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        dest="max_events",
+        help="cap the in-memory event buffer (overflow is counted, not kept)",
+    )
+    tconv = trace_sub.add_parser(
+        "convert", help="convert a streamed JSONL event log to Chrome trace JSON"
+    )
+    tconv.add_argument("jsonl_path", help="JSONL file written by --jsonl")
+    tconv.add_argument(
+        "--out", default="trace.json", help="Chrome trace-event output path"
+    )
+    return parser
+
+
+def _build_compare_parser() -> argparse.ArgumentParser:
+    """Parser for ``bench compare`` (dispatched before the main parser so
+    the flag-taking ``bench`` subcommand keeps its existing grammar)."""
+    parser = argparse.ArgumentParser(
+        prog="rfid-sched bench compare",
+        description="Audit BENCH_*.json trajectories for work-counter drift "
+        "and wall-clock regressions (docs/observability.md). Exit codes: "
+        "0 clean, 1 drift, 2 unreadable input.",
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="BENCH files to audit (default: the three committed families)",
+    )
+    parser.add_argument(
+        "--against",
+        default=None,
+        help="audit the working files against a committed revision, e.g. "
+        "'HEAD-committed' or 'main-committed' (append-only + no counter "
+        "drift vs the committed trajectory)",
+    )
+    parser.add_argument(
+        "--allow",
+        action="append",
+        default=[],
+        metavar="LABEL",
+        help="label whose counter drift is expected (repeatable); "
+        "downgrades its findings to warnings",
+    )
+    parser.add_argument(
+        "--max-wall-ratio",
+        type=float,
+        default=1.5,
+        dest="max_wall_ratio",
+        help="flag the latest run when wall-clock exceeds the group's best "
+        "by this factor (default 1.5)",
+    )
+    parser.add_argument(
+        "--wall-floor",
+        type=float,
+        default=0.05,
+        dest="wall_floor_s",
+        help="ignore wall-clock regressions below this many seconds "
+        "(default 0.05)",
+    )
+    parser.add_argument(
+        "--strict-wall",
+        action="store_true",
+        dest="strict_wall",
+        help="treat wall-clock regressions as errors instead of warnings",
     )
     return parser
 
@@ -403,9 +524,92 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_run(args: argparse.Namespace) -> int:
+    from repro.obs.events import TraceRecorder, recording
+    from repro.obs.sink import JsonlSink, TeeRecorder, write_chrome_trace
+    from repro.obs.spans import reset_spans
+
+    if args.quick:
+        from repro.obs.bench import QUICK_MATRIX
+
+        point = QUICK_MATRIX[0]
+        scenario = point.build()
+        solver_name = args.solver if args.solver != "ptas" else point.solver
+        solver_kwargs = dict(point.solver_kwargs) if solver_name == point.solver else {}
+        label = point.label
+    else:
+        scenario = _scenario_from_args(args)
+        solver_name = args.solver
+        solver_kwargs = SOLVER_KWARGS.get(solver_name, {})
+        label = "custom"
+    system = scenario.build()
+    solver = get_solver(solver_name, **solver_kwargs)
+
+    recorder = TraceRecorder(max_events=args.max_events)
+    sink = JsonlSink(args.jsonl) if args.jsonl else None
+    active = TeeRecorder(recorder, sink) if sink else recorder
+    reset_spans()
+    try:
+        with recording(active):
+            schedule = greedy_covering_schedule(
+                system,
+                solver,
+                linklayer=args.linklayer,
+                seed=scenario.seed,
+                incremental=args.incremental,
+            )
+    finally:
+        if sink:
+            sink.close()
+    write_chrome_trace(recorder.events, args.out)
+    print(
+        f"traced {label} ({solver_name}): {schedule.size} slots, "
+        f"complete={schedule.complete}"
+    )
+    print(
+        f"wrote {len(recorder.events)} events to {args.out} "
+        f"(open in Perfetto or chrome://tracing)"
+    )
+    if recorder.dropped_events:
+        print(f"warning: {recorder.dropped_events} events dropped at the "
+              f"--max-events={args.max_events} cap")
+    if sink:
+        print(f"streamed {sink.events_written} events to {args.jsonl}")
+    return 0
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    from repro.obs.sink import load_jsonl, write_chrome_trace
+
+    events = load_jsonl(args.jsonl_path)
+    write_chrome_trace(events, args.out)
+    print(f"converted {len(events)} events from {args.jsonl_path} to {args.out}")
+    return 0
+
+
+def _cmd_bench_compare(argv: List[str]) -> int:
+    from repro.obs.compare import DEFAULT_BENCH_FILES, run_compare
+
+    args = _build_compare_parser().parse_args(argv)
+    paths = args.files or [f for f in DEFAULT_BENCH_FILES]
+    code, report = run_compare(
+        paths,
+        against=args.against,
+        allow_labels=args.allow,
+        max_wall_ratio=args.max_wall_ratio,
+        wall_floor_s=args.wall_floor_s,
+        strict_wall=args.strict_wall,
+    )
+    print(report)
+    return code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    argv_list = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv_list[:2] == ["bench", "compare"]:
+        return _cmd_bench_compare(argv_list[2:])
+    args = _build_parser().parse_args(argv_list)
     if args.command == "solve":
         return _cmd_solve(args)
     if args.command == "figure":
@@ -436,6 +640,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in available_solvers():
             print(name)
         return 0
+    if args.command == "trace":
+        if args.trace_command == "run":
+            return _cmd_trace_run(args)
+        return _cmd_trace_convert(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -61,6 +61,7 @@ from repro.obs.events import (
     StageTiming,
     get_recorder,
 )
+from repro.obs.spans import span
 from repro.perf.slotdelta import ScheduleContext
 from repro.util.rng import RngLike, as_rng
 
@@ -474,167 +475,190 @@ def greedy_covering_schedule(
     total_read = 0
     stall_run = 0
     outcome: Optional[ScheduleOutcome] = None
-    while len(slots) < cap:
-        if context is not None:
-            if context.num_unread == 0:
-                break
-            unread = context.unread
-            unread_count = context.num_unread
-        else:
-            unread = state.unread_mask & coverable
-            if not unread.any():
-                break
-            unread_count = None
-        if rec.enabled:
-            if unread_count is None:
-                unread_count = int(unread.sum())
-            rec.emit(SlotStart(slot=len(slots), unread_tags=unread_count))
-            t_stage = time.perf_counter()
-        if fault_rt is not None:
-            fault_rt.begin_slot(len(slots), rec)
-            active, solver_meta = fault_rt.propose_active(
-                len(slots), solver, solver_takes_context, unread, rng, context, rec
-            )
-            active = fault_rt.drop_failed(active)
-            well = system.well_covered_tags(active, unread)
-            if len(well) == 0:
-                # the chosen set reads nothing (all its readers down, or the
-                # solver whiffed) — fall back to the best live singleton;
-                # its activation may itself fail, yielding a zero-progress
-                # slot bounded by the stall guard.
-                fb = fault_rt.best_singleton(unread, context)
-                if fb is not None:
-                    active = fault_rt.drop_failed(
-                        np.asarray([fb], dtype=np.int64)
+    with span(
+        "mcs.run",
+        solver=getattr(solver, "__name__", "solver"),
+        faults=fault_rt is not None,
+        incremental=incremental,
+    ):
+        while len(slots) < cap:
+            if context is not None:
+                if context.num_unread == 0:
+                    break
+                unread = context.unread
+                unread_count = context.num_unread
+            else:
+                unread = state.unread_mask & coverable
+                if not unread.any():
+                    break
+                unread_count = None
+            with span("mcs.slot", slot=len(slots)):
+                if rec.enabled:
+                    if unread_count is None:
+                        unread_count = int(unread.sum())
+                    rec.emit(SlotStart(slot=len(slots), unread_tags=unread_count))
+                    t_stage = time.perf_counter()
+                with span("mcs.solve", slot=len(slots)):
+                    if fault_rt is not None:
+                        fault_rt.begin_slot(len(slots), rec)
+                        active, solver_meta = fault_rt.propose_active(
+                            len(slots), solver, solver_takes_context, unread,
+                            rng, context, rec
+                        )
+                        active = fault_rt.drop_failed(active)
+                        well = system.well_covered_tags(active, unread)
+                        if len(well) == 0:
+                            # the chosen set reads nothing (all its readers
+                            # down, or the solver whiffed) — fall back to the
+                            # best live singleton; its activation may itself
+                            # fail, yielding a zero-progress slot bounded by
+                            # the stall guard.
+                            fb = fault_rt.best_singleton(unread, context)
+                            if fb is not None:
+                                active = fault_rt.drop_failed(
+                                    np.asarray([fb], dtype=np.int64)
+                                )
+                                well = system.well_covered_tags(active, unread)
+                            else:
+                                active = np.empty(0, dtype=np.int64)
+                    else:
+                        if solver_takes_context:
+                            result: OneShotResult = solver(
+                                system, unread, rng, context=context
+                            )
+                        else:
+                            result = solver(system, unread, rng)
+                        active = result.active
+                        solver_meta = dict(result.meta)
+                        well = system.well_covered_tags(active, unread)
+                        if len(well) == 0:
+                            fallback = _best_singleton(system, unread, context)
+                            if fallback is None:
+                                break  # nothing coverable remains (cannot happen with unread.any())
+                            active = np.asarray([fallback], dtype=np.int64)
+                            well = system.well_covered_tags(active, unread)
+
+                    if read_mode == "single" and len(well):
+                        # keep at most one tag per operational reader
+                        cov = system.coverage[np.ix_(well, active)]
+                        owner = active[np.argmax(cov, axis=1)]
+                        keep = []
+                        seen = set()
+                        for t, rd in zip(well, owner):
+                            if int(rd) not in seen:
+                                seen.add(int(rd))
+                                keep.append(int(t))
+                        well = np.asarray(keep, dtype=np.int64)
+
+                if rec.enabled:
+                    rec.emit(
+                        StageTiming(
+                            slot=len(slots),
+                            stage="solve",
+                            seconds=time.perf_counter() - t_stage,
+                        )
                     )
-                    well = system.well_covered_tags(active, unread)
+                    t_stage = time.perf_counter()
+
+                if fault_rt is not None:
+                    missed = fault_rt.injector.missed_tags(len(slots), well)
+                    if rec.enabled and len(missed):
+                        rec.emit(
+                            ReadMissed(
+                                slot=len(slots), tags_missed=int(len(missed))
+                            )
+                        )
+                    confirmed = (
+                        well[~np.isin(well, missed)] if len(missed) else well
+                    )
                 else:
-                    active = np.empty(0, dtype=np.int64)
-        else:
-            if solver_takes_context:
-                result: OneShotResult = solver(system, unread, rng, context=context)
-            else:
-                result = solver(system, unread, rng)
-            active = result.active
-            solver_meta = dict(result.meta)
-            well = system.well_covered_tags(active, unread)
-            if len(well) == 0:
-                fallback = _best_singleton(system, unread, context)
-                if fallback is None:
-                    break  # nothing coverable remains (cannot happen with unread.any())
-                active = np.asarray([fallback], dtype=np.int64)
-                well = system.well_covered_tags(active, unread)
+                    confirmed = well
 
-        if read_mode == "single" and len(well):
-            # keep at most one tag per operational reader
-            cov = system.coverage[np.ix_(well, active)]
-            owner = active[np.argmax(cov, axis=1)]
-            keep = []
-            seen = set()
-            for t, rd in zip(well, owner):
-                if int(rd) not in seen:
-                    seen.add(int(rd))
-                    keep.append(int(t))
-            well = np.asarray(keep, dtype=np.int64)
+                inventory = None
+                if linklayer is not None:
+                    with span("mcs.inventory", slot=len(slots)):
+                        if fault_rt is not None:
+                            inventory = run_inventory_session(
+                                system, active, unread, protocol=linklayer,
+                                seed=rng, miss_tags=missed,
+                            )
+                        else:
+                            inventory = run_inventory_session(
+                                system, active, unread, protocol=linklayer,
+                                seed=rng
+                            )
+                    if rec.enabled:
+                        rec.emit(
+                            StageTiming(
+                                slot=len(slots),
+                                stage="inventory",
+                                seconds=time.perf_counter() - t_stage,
+                            )
+                        )
 
-        if rec.enabled:
-            rec.emit(
-                StageTiming(
-                    slot=len(slots),
-                    stage="solve",
-                    seconds=time.perf_counter() - t_stage,
-                )
-            )
-            t_stage = time.perf_counter()
+                if rec.enabled:
+                    rec.emit(
+                        CollisionTally(
+                            slot=len(slots),
+                            rrc_blocked=int(
+                                len(rrc_blocked_tags(system, active, unread))
+                            ),
+                            rtc_silenced=int(len(rtc_victims(system, active))),
+                        )
+                    )
+                    t_stage = time.perf_counter()
 
-        if fault_rt is not None:
-            missed = fault_rt.injector.missed_tags(len(slots), well)
-            if rec.enabled and len(missed):
-                rec.emit(ReadMissed(slot=len(slots), tags_missed=int(len(missed))))
-            confirmed = (
-                well[~np.isin(well, missed)] if len(missed) else well
-            )
-        else:
-            confirmed = well
-
-        inventory = None
-        if linklayer is not None:
-            if fault_rt is not None:
-                inventory = run_inventory_session(
-                    system, active, unread, protocol=linklayer, seed=rng,
-                    miss_tags=missed,
-                )
-            else:
-                inventory = run_inventory_session(
-                    system, active, unread, protocol=linklayer, seed=rng
-                )
-            if rec.enabled:
-                rec.emit(
-                    StageTiming(
+                with span("mcs.retire", slot=len(slots)):
+                    state.mark_read(confirmed.tolist())
+                    if context is not None:
+                        context.retire_tags(confirmed)
+                        context.note_active(active)
+                if rec.enabled:
+                    rec.emit(
+                        StageTiming(
+                            slot=len(slots),
+                            stage="retire",
+                            seconds=time.perf_counter() - t_stage,
+                        )
+                    )
+                total_read += int(len(confirmed))
+                if rec.enabled:
+                    rec.emit(
+                        SlotEnd(
+                            slot=len(slots),
+                            tags_read=int(len(confirmed)),
+                            weight=int(len(well)),
+                            active_readers=int(len(active)),
+                        )
+                    )
+                slots.append(
+                    SlotRecord(
                         slot=len(slots),
-                        stage="inventory",
-                        seconds=time.perf_counter() - t_stage,
+                        active=active,
+                        tags_read=confirmed,
+                        weight=int(len(well)),
+                        solver_meta=solver_meta,
+                        inventory=inventory,
                     )
                 )
+            if stall_limit is not None:
+                stall_run = stall_run + 1 if len(confirmed) == 0 else 0
+                if stall_run >= stall_limit:
+                    outcome = ScheduleOutcome.stalled
+                    break
 
+        remaining = state.unread_mask & coverable
+        complete = not bool(remaining.any())
+        if outcome is None:
+            outcome = (
+                ScheduleOutcome.complete if complete else ScheduleOutcome.exhausted
+            )
         if rec.enabled:
             rec.emit(
-                CollisionTally(
-                    slot=len(slots),
-                    rrc_blocked=int(len(rrc_blocked_tags(system, active, unread))),
-                    rtc_silenced=int(len(rtc_victims(system, active))),
+                ScheduleDone(
+                    slots=len(slots), tags_read=total_read, complete=complete
                 )
             )
-            t_stage = time.perf_counter()
-
-        state.mark_read(confirmed.tolist())
-        if context is not None:
-            context.retire_tags(confirmed)
-            context.note_active(active)
-        if rec.enabled:
-            rec.emit(
-                StageTiming(
-                    slot=len(slots),
-                    stage="retire",
-                    seconds=time.perf_counter() - t_stage,
-                )
-            )
-        total_read += int(len(confirmed))
-        if rec.enabled:
-            rec.emit(
-                SlotEnd(
-                    slot=len(slots),
-                    tags_read=int(len(confirmed)),
-                    weight=int(len(well)),
-                    active_readers=int(len(active)),
-                )
-            )
-        slots.append(
-            SlotRecord(
-                slot=len(slots),
-                active=active,
-                tags_read=confirmed,
-                weight=int(len(well)),
-                solver_meta=solver_meta,
-                inventory=inventory,
-            )
-        )
-        if stall_limit is not None:
-            stall_run = stall_run + 1 if len(confirmed) == 0 else 0
-            if stall_run >= stall_limit:
-                outcome = ScheduleOutcome.stalled
-                break
-
-    remaining = state.unread_mask & coverable
-    complete = not bool(remaining.any())
-    if outcome is None:
-        outcome = (
-            ScheduleOutcome.complete if complete else ScheduleOutcome.exhausted
-        )
-    if rec.enabled:
-        rec.emit(
-            ScheduleDone(slots=len(slots), tags_read=total_read, complete=complete)
-        )
     return ScheduleResult(
         slots=slots,
         tags_read_total=total_read,

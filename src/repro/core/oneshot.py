@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.model.system import RFIDSystem
 from repro.obs.events import SolverCall, get_recorder
+from repro.obs.spans import span
 from repro.perf.incremental import GeneralizedWeightClimber
 from repro.util.rng import RngLike
 
@@ -145,17 +146,20 @@ def _register_builtins() -> None:
                 rec = get_recorder()
                 if not rec.enabled:
                     return fn(system, unread=unread, seed=seed, **kw_all)
-                t0 = time.perf_counter()
-                result = fn(system, unread=unread, seed=seed, **kw_all)
-                rec.emit(
-                    SolverCall(
-                        solver=result.meta.get("solver", fn.__name__),
-                        seconds=time.perf_counter() - t0,
-                        weight=int(result.weight),
-                        active_readers=result.size,
-                        feasible=bool(result.feasible),
+                # Span + event only on the traced path: the disabled branch
+                # above stays exactly one attribute check.
+                with span("solver.call", solver=fn.__name__):
+                    t0 = time.perf_counter()
+                    result = fn(system, unread=unread, seed=seed, **kw_all)
+                    rec.emit(
+                        SolverCall(
+                            solver=result.meta.get("solver", fn.__name__),
+                            seconds=time.perf_counter() - t0,
+                            weight=int(result.weight),
+                            active_readers=result.size,
+                            feasible=bool(result.feasible),
+                        )
                     )
-                )
                 return result
 
             solver.__name__ = fn.__name__

@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Sequence
 
 from repro.distsim.messages import Message
 from repro.obs.events import DistsimRound, get_recorder
+from repro.obs.spans import span
 from repro.util.validation import check_loss_rate
 
 
@@ -152,15 +153,19 @@ class SyncEngine:
 
     def run(self, max_rounds: int = 10_000) -> EngineStats:
         """Execute rounds until quiescence (no in-flight messages and every
-        node votes idle) or *max_rounds*; returns cumulative stats."""
+        node votes idle) or *max_rounds*; returns cumulative stats.
+
+        Under tracing the whole run executes inside a ``distsim.run`` span,
+        whose per-round ``DistsimRound`` events attach to it."""
         if max_rounds <= 0:
             raise ValueError(f"max_rounds must be > 0, got {max_rounds}")
-        if not self._started:
-            self._start()
-        for _ in range(max_rounds):
-            if not self._in_flight and all(n.is_idle() for n in self.nodes):
-                break
-            self.step()
+        with span("distsim.run", nodes=len(self.nodes)):
+            if not self._started:
+                self._start()
+            for _ in range(max_rounds):
+                if not self._in_flight and all(n.is_idle() for n in self.nodes):
+                    break
+                self.step()
         return self.stats
 
     def step(self) -> None:

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.metrics import SeriesStats, aggregate
 from repro.obs.events import SweepPoint, get_recorder
+from repro.obs.spans import span
 from repro.perf.parallel import fork_map
 
 Measure = Callable[[float, int], Mapping[str, float]]
@@ -82,30 +83,35 @@ def run_sweep(
         sample = measure(value, seed)
         return dict(sample), time.perf_counter() - t0
 
-    outcomes = fork_map(run_point, grid, workers)
+    # One whole-sweep span in the parent: ``measure`` runs in fork_map
+    # workers whose recorders are discarded, so per-point child spans are
+    # not observable here.  SweepPoint events attach to this span.
+    with span("sweep.run", param=param_name, points=len(grid)):
+        outcomes = fork_map(run_point, grid, workers)
 
-    rec = get_recorder()
-    raw: Dict[Tuple[str, float], List[float]] = {}
-    metric_names: List[str] = []
-    for (value, seed), (sample, seconds) in zip(grid, outcomes):
-        if rec.enabled:
-            rec.emit(
-                SweepPoint(
-                    param=param_name,
-                    value=float(value),
-                    seed=int(seed),
-                    seconds=seconds,
+        rec = get_recorder()
+        raw: Dict[Tuple[str, float], List[float]] = {}
+        metric_names: List[str] = []
+        for (value, seed), (sample, seconds) in zip(grid, outcomes):
+            if rec.enabled:
+                rec.emit(
+                    SweepPoint(
+                        param=param_name,
+                        value=float(value),
+                        seed=int(seed),
+                        seconds=seconds,
+                    )
                 )
-            )
-        if not metric_names:
-            metric_names = list(sample)
-        elif set(sample) != set(metric_names):
-            raise ValueError(
-                f"measure returned inconsistent metrics at "
-                f"{param_name}={value}: {sorted(sample)} vs {sorted(metric_names)}"
-            )
-        for metric, obs in sample.items():
-            raw.setdefault((metric, value), []).append(float(obs))
+            if not metric_names:
+                metric_names = list(sample)
+            elif set(sample) != set(metric_names):
+                raise ValueError(
+                    f"measure returned inconsistent metrics at "
+                    f"{param_name}={value}: "
+                    f"{sorted(sample)} vs {sorted(metric_names)}"
+                )
+            for metric, obs in sample.items():
+                raw.setdefault((metric, value), []).append(float(obs))
 
     stats = {key: aggregate(vals) for key, vals in raw.items()}
     return SweepResult(

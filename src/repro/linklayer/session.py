@@ -20,6 +20,7 @@ from repro.linklayer.aloha import FramedAlohaReader
 from repro.linklayer.treewalk import TreeWalkReader
 from repro.model.system import RFIDSystem
 from repro.obs.events import LinkLayerSession, get_recorder
+from repro.obs.spans import span
 from repro.util.rng import RngLike, as_rng, spawn_rngs
 from repro.util.validation import check_loss_rate
 
@@ -76,7 +77,30 @@ def run_inventory_session(
     micro-slot cost is paid — but it is not counted in ``tags_read``, so
     ACK-based retirement will retry it.  With the defaults the session is
     bit-identical to the historical behaviour (no extra RNG draws).
+
+    Under tracing the whole session runs inside a ``linklayer.session``
+    span (``docs/observability.md``), nesting under the driver's
+    ``mcs.inventory`` stage when called from the MCS loop.
     """
+    with span("linklayer.session", protocol=protocol):
+        return _run_inventory_session(
+            system, active, unread, protocol, seed, aloha, treewalk,
+            miss_rate, miss_tags,
+        )
+
+
+def _run_inventory_session(
+    system: RFIDSystem,
+    active,
+    unread: Optional[np.ndarray],
+    protocol: Protocol,
+    seed: RngLike,
+    aloha: Optional[FramedAlohaReader],
+    treewalk: Optional[TreeWalkReader],
+    miss_rate: float,
+    miss_tags,
+) -> InventoryResult:
+    """The span-free body of :func:`run_inventory_session`."""
     check_loss_rate("miss_rate", miss_rate)
     idx = system._normalize_active(active)
     well = system.well_covered_tags(idx, unread)

@@ -9,10 +9,17 @@ The obs layer is the repository's telemetry backbone (see
 * :mod:`repro.obs.collectors` — :class:`~repro.obs.collectors.RunCollector`
   aggregates an event stream into per-run counters, timers and per-slot
   series;
+* :mod:`repro.obs.spans` — hierarchical :func:`~repro.obs.spans.span`
+  tracing (``mcs.run`` → ``mcs.slot`` → stage → ``solver.call``) over the
+  same recorder;
+* :mod:`repro.obs.sink` — the bounded-buffer JSONL streaming sink and the
+  Chrome trace-event / Perfetto exporter behind ``rfid-sched trace``;
 * :mod:`repro.obs.export` — the versioned BENCH JSON schema and the merge
   tool that appends runs to ``BENCH_oneshot.json`` / ``BENCH_mcs.json``;
 * :mod:`repro.obs.bench` — the pinned-seed scenario matrix behind the
-  ``rfid-sched bench`` subcommand.
+  ``rfid-sched bench`` subcommand;
+* :mod:`repro.obs.compare` — the trajectory auditor behind
+  ``rfid-sched bench compare`` (work-counter drift gate).
 
 Like :mod:`repro.util`, this package sits below everything else: it imports
 only the standard library (and :mod:`repro.util` for timing), so any layer —
@@ -38,6 +45,8 @@ from repro.obs.events import (
     SlotStart,
     SolverCall,
     SolverDeadline,
+    SpanEnd,
+    SpanStart,
     StageTiming,
     SweepPoint,
     TraceRecorder,
@@ -45,6 +54,7 @@ from repro.obs.events import (
     recording,
     set_recorder,
 )
+from repro.obs.compare import WORK_COUNTERS, audit_against, audit_trajectory, run_compare
 from repro.obs.export import (
     BENCH_FORMAT,
     METRIC_FIELDS,
@@ -56,6 +66,15 @@ from repro.obs.export import (
     validate_bench,
     validate_run,
 )
+from repro.obs.sink import (
+    JsonlSink,
+    TeeRecorder,
+    chrome_trace,
+    event_to_dict,
+    load_jsonl,
+    write_chrome_trace,
+)
+from repro.obs.spans import SPAN_NAMES, current_span_id, reset_spans, span
 
 __all__ = [
     "EVENT_TYPES",
@@ -73,6 +92,22 @@ __all__ = [
     "SolverDeadline",
     "ScheduleDegraded",
     "SweepPoint",
+    "SpanStart",
+    "SpanEnd",
+    "span",
+    "SPAN_NAMES",
+    "current_span_id",
+    "reset_spans",
+    "JsonlSink",
+    "TeeRecorder",
+    "event_to_dict",
+    "load_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "WORK_COUNTERS",
+    "audit_trajectory",
+    "audit_against",
+    "run_compare",
     "Recorder",
     "NullRecorder",
     "NULL_RECORDER",

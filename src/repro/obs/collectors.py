@@ -25,6 +25,8 @@ from repro.obs.events import (
     SlotStart,
     SolverCall,
     SolverDeadline,
+    SpanEnd,
+    SpanStart,
     StageTiming,
     SweepPoint,
 )
@@ -56,6 +58,14 @@ class RunCollector(Recorder):
         ``schedule_degradations``).  Exported by :meth:`summary` only when
         the fault layer emitted at least one event, so default-path records
         keep exactly their historical shape.
+    ignored_events:
+        Count of events outside the :data:`~repro.obs.events.EVENT_TYPES`
+        taxonomy that this collector received and skipped.  Never exported
+        by :meth:`summary` — it exists to debug custom taxonomies feeding
+        the wrong recorder.  Span events (``SpanStart``/``SpanEnd``) are
+        part of the taxonomy and are skipped silently: they are structural,
+        exported by the sinks in :mod:`repro.obs.sink`, and aggregate to
+        nothing here.
     """
 
     enabled = True
@@ -89,14 +99,16 @@ class RunCollector(Recorder):
         self.sets_per_slot: List[int] = []
         self.sets_by_context: Dict[str, int] = {}
         self.schedule_complete: Optional[bool] = None
+        self.ignored_events = 0
         self._open_slot: Optional[int] = None
         self._open_slot_sets = 0
 
     # ------------------------------------------------------------------
     def emit(self, event) -> None:
-        """Fold one event into the aggregates (unknown events are ignored,
-        so custom recorders can extend the taxonomy without breaking this
-        collector)."""
+        """Fold one event into the aggregates.  Span events are skipped
+        (structural, nothing to aggregate); events outside the taxonomy are
+        skipped and tallied in :attr:`ignored_events`, so custom recorders
+        can extend the taxonomy without breaking this collector."""
         if isinstance(event, SlotStart):
             self._open_slot = event.slot
             self._open_slot_sets = 0
@@ -146,6 +158,8 @@ class RunCollector(Recorder):
         elif isinstance(event, SweepPoint):
             self.counters["sweep_points"] += 1
             self.sweep_times.record(event.param, event.seconds)
+        elif not isinstance(event, (SpanStart, SpanEnd)):
+            self.ignored_events += 1
 
     # ------------------------------------------------------------------
     @property

@@ -193,6 +193,34 @@ class SweepPoint:
     seconds: float
 
 
+@dataclass(frozen=True)
+class SpanStart:
+    """Hierarchical span *span_id* named *name* opened at perf-counter time
+    *t* (seconds, host-relative) under *parent_id* (``None`` for a root
+    span).  *attrs* carries the site's static attributes as sorted
+    ``(key, value)`` pairs — a tuple, so the event stays hashable-by-value
+    like every other event.  Span names are the span taxonomy of
+    :data:`repro.obs.spans.SPAN_NAMES` (documented in
+    ``docs/observability.md``)."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    t: float
+    attrs: Tuple[Tuple[str, object], ...] = ()
+
+
+@dataclass(frozen=True)
+class SpanEnd:
+    """Span *span_id* named *name* closed at perf-counter time *t* after
+    *seconds* of wall-clock."""
+
+    span_id: int
+    name: str
+    t: float
+    seconds: float
+
+
 #: Every event class in the taxonomy, in documentation order.
 EVENT_TYPES: Tuple[type, ...] = (
     SlotStart,
@@ -209,6 +237,8 @@ EVENT_TYPES: Tuple[type, ...] = (
     SolverDeadline,
     ScheduleDegraded,
     SweepPoint,
+    SpanStart,
+    SpanEnd,
 )
 
 
@@ -243,15 +273,29 @@ class TraceRecorder(Recorder):
     The simplest enabled recorder — useful in tests and for ad-hoc
     inspection; production aggregation lives in
     :class:`repro.obs.collectors.RunCollector`.
+
+    ``max_events`` bounds the retained list so tracing a paper-scale (or
+    chaos) run cannot exhaust RAM: once the cap is reached further events
+    are counted in :attr:`dropped_events` instead of stored.  For bounded
+    memory *with* a complete record, stream through
+    :class:`repro.obs.sink.JsonlSink` instead.
     """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
         self.events: List[object] = []
+        self.max_events = max_events
+        self.dropped_events = 0
 
     def emit(self, event) -> None:
-        """Append *event* to :attr:`events`."""
+        """Append *event* to :attr:`events`, or tally it in
+        :attr:`dropped_events` once the ``max_events`` cap is reached."""
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
         self.events.append(event)
 
 

@@ -23,6 +23,8 @@ schema and docs cannot drift apart silently.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, List, Union
 
@@ -178,7 +180,10 @@ def merge_run(path: PathLike, record: dict) -> dict:
 
     This is the append-only trajectory tool: existing runs are never
     rewritten, so ``BENCH_*.json`` accumulates one entry per measured run
-    across PRs.
+    across PRs.  The merged document is written to a temporary file in the
+    same directory and moved into place with :func:`os.replace`, so a crash
+    mid-write can never truncate the trajectory: the file always holds
+    either the old document or the new one.
     """
     validate_run(record)
     p = Path(path)
@@ -193,7 +198,20 @@ def merge_run(path: PathLike, record: dict) -> dict:
     else:
         data = _empty_bench(record["bench"])
     data["runs"].append(record)
-    p.write_text(json.dumps(data, indent=1, sort_keys=False) + "\n")
+    payload = json.dumps(data, indent=1, sort_keys=False) + "\n"
+    fd, tmp = tempfile.mkstemp(
+        dir=str(p.parent), prefix=p.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(payload)
+        os.replace(tmp, p)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return data
 
 

@@ -15,6 +15,7 @@ import pytest
 
 from repro.obs.events import EVENT_TYPES
 from repro.obs.export import METRIC_FIELDS, RUN_FIELDS
+from repro.obs.spans import SPAN_NAMES
 
 REPO = Path(__file__).resolve().parent.parent
 DOC = REPO / "docs" / "observability.md"
@@ -45,6 +46,14 @@ class TestObservabilityContract:
     def test_event_taxonomy_matches_code(self):
         documented = _table_names(_section(DOC.read_text(), "Event taxonomy"))
         in_code = {cls.__name__ for cls in EVENT_TYPES}
+        assert documented == in_code, (
+            f"docs-only: {documented - in_code}; "
+            f"undocumented: {in_code - documented}"
+        )
+
+    def test_span_taxonomy_matches_code(self):
+        documented = _table_names(_section(DOC.read_text(), "Span taxonomy"))
+        in_code = set(SPAN_NAMES)
         assert documented == in_code, (
             f"docs-only: {documented - in_code}; "
             f"undocumented: {in_code - documented}"

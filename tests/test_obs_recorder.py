@@ -4,6 +4,8 @@ import json
 
 import pytest
 
+from repro.faults import FaultPlan
+
 from repro.cli import main
 from repro.core import get_solver, greedy_covering_schedule
 from repro.deployment import Scenario
@@ -68,6 +70,31 @@ class TestNullRecorderOverhead:
             )
         assert schedule.complete
 
+    def test_disabled_recorder_never_computes_under_faults(self, system):
+        """The fault-tolerant driver (and every span site it crosses) must
+        also skip event construction when tracing is off."""
+        plan = FaultPlan.uniform_flaky(
+            system.num_readers, 0.2, miss_rate=0.1, seed=5
+        )
+        with recording(_BoobyTrap()):
+            schedule = greedy_covering_schedule(
+                system,
+                get_solver("ghc"),
+                linklayer="aloha",
+                seed=0,
+                faults=plan,
+                max_slots=4000,
+            )
+        assert schedule.tags_read_total > 0
+
+    def test_disabled_recorder_never_computes_in_sweep_and_distsim(self, system):
+        """Sweep and distsim span sites stay silent when tracing is off."""
+        from repro.experiments.sweep import run_sweep
+
+        with recording(_BoobyTrap()):
+            get_solver("distributed")(system, None, 0)
+            run_sweep("x", [1.0], lambda v, s: {"m": v + s}, seeds=[0])
+
     def test_disabled_path_matches_traced_results(self, system):
         """Tracing must be purely observational: identical schedules with
         and without a collector installed."""
@@ -108,6 +135,23 @@ class TestRecorderInstallation:
         kinds = [type(e) for e in rec.events]
         assert kinds.index(SlotStart) < kinds.index(SlotEnd)
         assert all(isinstance(e, EVENT_TYPES) for e in rec.events)
+
+    def test_trace_recorder_caps_buffer_and_counts_drops(self, system):
+        with recording(TraceRecorder(max_events=5)) as rec:
+            greedy_covering_schedule(system, get_solver("exact"), seed=0)
+        assert len(rec.events) == 5
+        assert rec.dropped_events > 0
+        uncapped = TraceRecorder()
+        with recording(uncapped):
+            greedy_covering_schedule(system, get_solver("exact"), seed=0)
+        assert len(uncapped.events) == 5 + rec.dropped_events
+        assert [type(e) for e in rec.events] == [
+            type(e) for e in uncapped.events[:5]
+        ]
+
+    def test_trace_recorder_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError, match="max_events"):
+            TraceRecorder(max_events=0)
 
 
 class TestRunCollector:
@@ -161,6 +205,19 @@ class TestRunCollector:
         col.emit(object())  # must not raise
         assert col.counters["slots"] == 0
 
+    def test_unknown_events_counted_but_not_exported(self, system):
+        """Foreign events tick the diagnostic ``ignored_events`` tally; span
+        events are structural and do not — and neither reaches summary()."""
+        col = RunCollector()
+        col.emit(object())
+        col.emit(object())
+        assert col.ignored_events == 2
+        with recording(RunCollector()) as traced:
+            greedy_covering_schedule(system, get_solver("exact"), seed=0)
+        assert traced.ignored_events == 0  # spans pass through silently
+        assert "ignored_events" not in col.summary()
+        assert "ignored_events" not in traced.summary()
+
     def test_collector_counts_outside_slots(self):
         col = RunCollector()
         col.emit(CandidateEvaluation(context="exact.bnb", count=5))
@@ -204,6 +261,15 @@ class TestExport:
         assert data["benchmark"] == "mcs"
         assert len(data["runs"]) == 2
         assert data["runs"][0] == record  # JSON round-trip preserves fields
+
+    def test_merge_writes_atomically(self, tmp_path):
+        """merge_run goes through a same-directory temp file + os.replace,
+        so no partial state (or leftover temp file) survives a merge."""
+        path = tmp_path / "BENCH_mcs.json"
+        merge_run(path, self._record())
+        merge_run(path, self._record())
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_mcs.json"]
+        assert len(load_bench(path)["runs"]) == 2
 
     def test_merge_rejects_family_mismatch(self, tmp_path):
         path = tmp_path / "BENCH_mcs.json"
