@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.oneshot import OneShotResult, make_result
 from repro.model.system import RFIDSystem
+from repro.perf.backends import kernel_for
 from repro.perf.incremental import GeneralizedWeightClimber
 from repro.util.rng import RngLike
 
@@ -31,6 +32,7 @@ def greedy_hill_climbing(
     require_feasible: bool = False,
     gain_mode: str = "weight",
     context=None,
+    backend: Optional[str] = None,
 ) -> OneShotResult:
     """One-shot GHC: grow the active set by best incremental gain.
 
@@ -55,6 +57,14 @@ def greedy_hill_climbing(
         adds only interference, so its weight gain is ≤ 0 and its coverage
         gain is 0 — never above the positive-only ``best_gain`` threshold —
         and the climb path is unchanged.
+    backend:
+        Solver-kernel backend name (``'auto'``/``'pure'``/``'numpy'``;
+        ``None`` follows the process selection).  Each scan evaluates the
+        whole candidate frontier through the selected
+        :class:`~repro.perf.backends.WeightKernel`; taking the first
+        maximum (lowest reader id) of the batched gains reproduces the
+        strict-improvement scalar scan exactly, so the climb path is
+        bit-identical across backends (``docs/backends.md``).
     """
     if gain_mode not in ("weight", "coverage"):
         raise ValueError(f"gain_mode must be 'weight' or 'coverage', got {gain_mode!r}")
@@ -67,32 +77,33 @@ def greedy_hill_climbing(
         climber = GeneralizedWeightClimber(system, unread_bits=context.unread_bits)
     else:
         climber = GeneralizedWeightClimber(system, unread)
+    kernel = kernel_for(system, backend)
     current_w = 0
     in_set = np.zeros(n, dtype=bool)
 
     while True:
-        best_gain = 0
-        best_reader = None
-        best_weight = current_w
-        for r in range(n):
-            if in_set[r]:
-                continue
-            if context is not None and not context.is_live(r):
-                continue
-            if require_feasible and climber.active and climber.conflicts_with_active(r):
-                continue
-            if gain_mode == "weight":
-                w = climber.weight_with(r)
-                gain = w - current_w
-            else:
-                gain = climber.new_coverage(r)
-                w = None
-            if gain > best_gain:
-                best_gain = gain
-                best_reader = r
-                best_weight = w
-        if best_reader is None or best_gain <= 0:
+        cands = [
+            r
+            for r in range(n)
+            if not in_set[r] and (context is None or context.is_live(r))
+        ]
+        if require_feasible and climber.active:
+            cands = kernel.filter_compatible(cands, climber.active)
+        if not cands:
             break
+        if gain_mode == "weight":
+            ws = climber.weights_with_many(cands, kernel)
+            gains = ws - current_w
+        else:
+            gains = climber.new_coverage_many(cands, kernel)
+        # First maximum in ascending-id order == the scalar scan's strict
+        # (">") improvement winner.
+        idx = int(np.argmax(gains))
+        best_gain = int(gains[idx])
+        if best_gain <= 0:
+            break
+        best_reader = cands[idx]
+        best_weight = int(ws[idx]) if gain_mode == "weight" else None
         if gain_mode == "coverage":
             # Collision-naive: only an actual weight drop stops the climb.
             w_after = climber.weight_with(best_reader)

@@ -22,7 +22,15 @@ appends to ``BENCH_chaos.json`` (see ``docs/robustness.md``).
 drift and wall-clock regressions, exiting non-zero on drift — the CI gate
 (exit-code contract in ``docs/observability.md``).  Because ``bench``
 itself takes flags, ``compare`` is dispatched by :func:`main` before the
-main parser runs, keeping ``bench --quick`` untouched.
+main parser runs, keeping ``bench --quick`` untouched.  With
+``--backends`` the audit also certifies cross-backend bit-identity per
+trajectory group (``docs/backends.md``).
+
+``solve``, ``bench`` and ``trace run`` take ``--backend
+{auto,pure,numpy}`` to pick the solver-kernel backend (default ``auto``;
+the ``REPRO_BACKEND`` environment variable overrides ``auto`` — see
+``docs/backends.md``).  Backends are bit-identical: the flag changes
+wall-clock, never schedules or counters.
 
 ``trace run`` executes one covering schedule under span tracing and writes
 a Chrome trace-event JSON (openable in Perfetto / ``chrome://tracing``);
@@ -41,6 +49,7 @@ from repro.core.oneshot import available_solvers, get_solver
 from repro.deployment.scenario import Scenario
 from repro.experiments.figures import FIGURE_DEFAULTS, SOLVER_KWARGS, run_figure
 from repro.experiments.reporting import format_series_table
+from repro.perf.backends import resolve_backend, use_backend
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -75,6 +84,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --schedule: enable the cross-slot pruning layer "
         "(output-identical, less search work; see docs/performance.md)",
+    )
+    solve.add_argument(
+        "--backend",
+        choices=["auto", "pure", "numpy"],
+        default=None,
+        help="solver-kernel backend (default: auto; env REPRO_BACKEND "
+        "overrides auto) — bit-identical output, see docs/backends.md",
     )
 
     figure = sub.add_parser("figure", help="regenerate an evaluation figure")
@@ -171,6 +187,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the per-stage wall-clock breakdown "
         "(solve / inventory / retire) of each mcs record",
     )
+    bench.add_argument(
+        "--backend",
+        choices=["auto", "pure", "numpy"],
+        default=None,
+        help="solver-kernel backend (default: auto; env REPRO_BACKEND "
+        "overrides auto) — bit-identical output, see docs/backends.md",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -240,6 +263,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--incremental",
         action="store_true",
         help="trace the schedule under the cross-slot pruning layer",
+    )
+    trun.add_argument(
+        "--backend",
+        choices=["auto", "pure", "numpy"],
+        default=None,
+        help="solver-kernel backend (default: auto; env REPRO_BACKEND "
+        "overrides auto) — bit-identical output, see docs/backends.md",
     )
     trun.add_argument(
         "--out", default="trace.json", help="Chrome trace-event output path"
@@ -317,6 +347,14 @@ def _build_compare_parser() -> argparse.ArgumentParser:
         dest="strict_wall",
         help="treat wall-clock regressions as errors instead of warnings",
     )
+    parser.add_argument(
+        "--backends",
+        action="store_true",
+        help="cross-backend certification mode: report groups whose runs "
+        "cover >= 2 solver-kernel backends with no counter drift as "
+        "bit-identity certified; warn on single-backend groups "
+        "(docs/backends.md)",
+    )
     return parser
 
 
@@ -330,10 +368,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     system = scenario.build()
+    backend = resolve_backend(args.backend)
     print(
         f"instance: {args.readers} readers, {args.tags} tags, "
         f"side={args.side:g}, lambda_R={args.lambda_R:g}, "
-        f"lambda_r={args.lambda_r:g}, seed={args.seed}"
+        f"lambda_r={args.lambda_r:g}, seed={args.seed} "
+        f"(backend: {backend})"
     )
     print(f"coverable tags: {int(system.covered_by_any().sum())}/{system.num_tags}")
 
@@ -345,20 +385,22 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             result = colorwave_covering_schedule(system, seed=args.seed)
         else:
             solver = get_solver(args.solver, **SOLVER_KWARGS.get(args.solver, {}))
-            result = greedy_covering_schedule(
-                system,
-                solver,
-                linklayer=args.linklayer,
-                seed=args.seed,
-                incremental=args.incremental,
-            )
+            with use_backend(backend):
+                result = greedy_covering_schedule(
+                    system,
+                    solver,
+                    linklayer=args.linklayer,
+                    seed=args.seed,
+                    incremental=args.incremental,
+                )
         print(f"covering schedule: {result.size} slots, complete={result.complete}")
         print(f"tags read: {result.tags_read_total}; per-slot: {result.reads_per_slot()}")
         if args.linklayer:
             print(f"link-layer duration: {result.total_micro_slots} micro-slots")
     else:
         solver = get_solver(args.solver, **SOLVER_KWARGS.get(args.solver, {}))
-        result = solver(system, None, args.seed)
+        with use_backend(backend):
+            result = solver(system, None, args.seed)
         print(
             f"one-shot ({args.solver}): weight={result.weight} "
             f"active={result.active.tolist()} feasible={result.feasible}"
@@ -468,10 +510,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     families = "mcs only, +inc labels" if args.incremental else "oneshot + mcs"
     print(
         f"running {'quick' if args.quick else 'full'} benchmark matrix "
-        f"({len(matrix)} scenario points, {families})"
+        f"({len(matrix)} scenario points, {families}, backend: "
+        f"{resolve_backend(args.backend)})"
     )
     records = run_bench_matrix(
-        matrix, workers=args.workers, incremental=args.incremental
+        matrix,
+        workers=args.workers,
+        incremental=args.incremental,
+        backend=args.backend,
     )
     print(format_bench_table(records))
     if args.profile:
@@ -550,7 +596,7 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
     active = TeeRecorder(recorder, sink) if sink else recorder
     reset_spans()
     try:
-        with recording(active):
+        with use_backend(resolve_backend(args.backend)), recording(active):
             schedule = greedy_covering_schedule(
                 system,
                 solver,
@@ -599,6 +645,7 @@ def _cmd_bench_compare(argv: List[str]) -> int:
         max_wall_ratio=args.max_wall_ratio,
         wall_floor_s=args.wall_floor_s,
         strict_wall=args.strict_wall,
+        backends_mode=args.backends,
     )
     print(report)
     return code

@@ -28,6 +28,7 @@ from repro.core.oneshot import OneShotResult, make_result
 from repro.model.system import RFIDSystem
 from repro.model.weights import BitsetWeightOracle
 from repro.obs.events import CandidateEvaluation, get_recorder
+from repro.perf.backends import kernel_for
 from repro.perf.cache import conflict_bits
 from repro.util.rng import RngLike
 
@@ -44,6 +45,7 @@ def solve_mwfs_masks(
     conflict_fn,
     max_nodes: int = 1_000_000,
     warm_start: Optional[Sequence[int]] = None,
+    kernel=None,
 ) -> Tuple[List[int], int, bool]:
     """Core search over *candidates* with pluggable structures.
 
@@ -65,6 +67,13 @@ def solve_mwfs_masks(
         without ever excluding a strictly-better or equal-and-earlier set —
         the returned set is identical to a cold search that completes within
         budget, reached with fewer nodes.
+    kernel:
+        Optional :class:`~repro.perf.backends.WeightKernel` built from the
+        same system as *oracle*'s masks; batches the solo-weight ordering
+        pass.  The DFS itself stays on the oracle's sequential push/pop
+        state in every backend — its include/exclude structure is
+        inherently serial — so node counts and the returned set are
+        backend-invariant by construction (``docs/backends.md``).
 
     Returns
     -------
@@ -73,10 +82,19 @@ def solve_mwfs_masks(
         out before the search completed.
     """
     # Order by decreasing solo weight: good incumbents early → strong prunes.
-    cands = sorted(
-        (int(c) for c in candidates),
-        key=lambda c: (-oracle.solo_weight(c), c),
-    )
+    if kernel is not None:
+        cand_list = [int(c) for c in candidates]
+        solo = kernel.solo_weights(oracle.unread_mask, cand_list)
+        order = sorted(
+            range(len(cand_list)),
+            key=lambda i: (-int(solo[i]), cand_list[i]),
+        )
+        cands = [cand_list[i] for i in order]
+    else:
+        cands = sorted(
+            (int(c) for c in candidates),
+            key=lambda c: (-oracle.solo_weight(c), c),
+        )
     oracle.reset()
     best_set: List[int] = []
     best_weight = 0
@@ -141,6 +159,7 @@ def exact_mwfs(
     on_budget: str = "best",
     oracle: Optional[BitsetWeightOracle] = None,
     context=None,
+    backend: Optional[str] = None,
 ) -> OneShotResult:
     """Exact (within *max_nodes*) MWFS for the One-Shot Schedule Problem.
 
@@ -166,6 +185,11 @@ def exact_mwfs(
         strict-improvement incumbent never contains one and the returned set
         is unchanged — and the previous slot's surviving active set seeds
         the incumbent (see :func:`solve_mwfs_masks`).
+    backend:
+        Solver-kernel backend name (``'auto'``/``'pure'``/``'numpy'``;
+        ``None`` follows the process selection — see
+        :func:`repro.perf.backends.resolve_backend`).  Bit-identical output
+        across backends (``docs/backends.md``).
     """
     if on_budget not in ("best", "raise"):
         raise ValueError(f"on_budget must be 'best' or 'raise', got {on_budget!r}")
@@ -181,6 +205,7 @@ def exact_mwfs(
     if oracle is None:
         oracle = BitsetWeightOracle(system, unread)
     adj = conflict_bits(system)
+    kernel = kernel_for(system, backend)
 
     best_set, best_weight, exhausted = solve_mwfs_masks(
         candidates,
@@ -188,6 +213,7 @@ def exact_mwfs(
         lambda i, j: bool(adj[i] >> j & 1),
         max_nodes=max_nodes,
         warm_start=warm,
+        kernel=kernel,
     )
     if exhausted and on_budget == "raise":
         raise SearchBudgetExceeded(

@@ -28,16 +28,23 @@ from repro.core.oneshot import OneShotResult, make_result
 from repro.model.system import RFIDSystem
 from repro.model.weights import BitsetWeightOracle
 from repro.obs.events import CandidateEvaluation, get_recorder
+from repro.perf.backends import kernel_for
 from repro.util.rng import RngLike, as_rng
 
 
 def _random_greedy_start(
-    system: RFIDSystem, oracle: BitsetWeightOracle, rng: np.random.Generator
+    system: RFIDSystem,
+    oracle: BitsetWeightOracle,
+    rng: np.random.Generator,
+    kernel=None,
 ) -> List[int]:
     """Randomized greedy seed: scan readers in solo-weight-biased random
     order, keep what stays independent."""
     n = system.num_readers
-    solos = np.array([oracle.solo_weight(i) for i in range(n)], dtype=float)
+    if kernel is not None:
+        solos = kernel.solo_weights(oracle.unread_mask, range(n)).astype(float)
+    else:
+        solos = np.array([oracle.solo_weight(i) for i in range(n)], dtype=float)
     # noisy-greedy ordering: multiplicative uniform noise on the solo weight
     order = np.argsort(-((solos + 1e-9) * rng.random(n)))
     conflict = system.conflict
@@ -58,6 +65,7 @@ def local_search_mwfs(
     t_initial: float = 3.0,
     cooling: float = 0.995,
     context=None,
+    backend: Optional[str] = None,
 ) -> OneShotResult:
     """Simulated-annealing search over feasible scheduling sets.
 
@@ -77,6 +85,12 @@ def local_search_mwfs(
         reference — restricting moves to live readers or warm-starting a
         restart would reorder ``rng`` draws — so no candidate pruning is
         applied in this solver.
+    backend:
+        Solver-kernel backend name (``'auto'``/``'pure'``/``'numpy'``;
+        ``None`` follows the process selection).  Only the greedy-seed
+        solo-weight scan is batched — the annealing move loop is untouched
+        so the ``rng`` stream, and hence the schedule, is bit-identical
+        across backends (``docs/backends.md``).
     """
     if iterations <= 0 or restarts <= 0:
         raise ValueError("iterations and restarts must be > 0")
@@ -91,13 +105,14 @@ def local_search_mwfs(
     else:
         oracle = BitsetWeightOracle(system, unread)
     conflict = system.conflict
+    kernel = kernel_for(system, backend)
 
     best_global: List[int] = []
     best_global_w = -1
     moves_scored = 0
 
     for _ in range(restarts):
-        current: Set[int] = set(_random_greedy_start(system, oracle, rng))
+        current: Set[int] = set(_random_greedy_start(system, oracle, rng, kernel))
         current_w = oracle.weight_of(current)
         best, best_w = sorted(current), current_w
         temp = t_initial

@@ -62,6 +62,7 @@ from repro.obs.events import (
     get_recorder,
 )
 from repro.obs.spans import span
+from repro.perf.backends import kernel_for
 from repro.perf.slotdelta import ScheduleContext
 from repro.util.rng import RngLike, as_rng
 
@@ -162,11 +163,13 @@ def _best_singleton(
     Popcounts over the packed coverage words replace the ``(m, n)`` mask
     product; ties break to the lowest reader id, as before.  An incremental
     context already maintains exactly these counts, so they are read off for
-    free."""
+    free.  The cold path goes through the ambient
+    :class:`~repro.perf.backends.WeightKernel` (both backends share the
+    same vectorised packed scan, so the counts are backend-invariant)."""
     if context is not None:
         counts = context.remaining_counts
     else:
-        counts = system.packed_coverage.covered_counts(unread)
+        counts = kernel_for(system).covered_counts(unread)
     if counts.size == 0 or counts.max() == 0:
         return None
     return int(np.argmax(counts))
@@ -275,7 +278,7 @@ class _FaultRuntime:
             counts = np.array(context.remaining_counts, dtype=np.int64, copy=True)
         else:
             counts = np.asarray(
-                self.system.packed_coverage.covered_counts(unread), dtype=np.int64
+                kernel_for(self.system).covered_counts(unread), dtype=np.int64
             ).copy()
         if counts.size == 0:
             return None

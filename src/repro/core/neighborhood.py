@@ -32,6 +32,7 @@ from repro.core.oneshot import OneShotResult, make_result
 from repro.model.interference import adjacency_lists
 from repro.model.system import RFIDSystem
 from repro.model.weights import BitsetWeightOracle
+from repro.perf.backends import kernel_for
 from repro.perf.cache import conflict_bits
 from repro.util.rng import RngLike
 from repro.util.validation import check_in_range
@@ -66,6 +67,7 @@ def centralized_location_free(
     ball_node_budget: int = 200_000,
     oracle: Optional[BitsetWeightOracle] = None,
     context=None,
+    backend: Optional[str] = None,
 ) -> OneShotResult:
     """Algorithm 2: location-free centralized MWFS approximation.
 
@@ -90,6 +92,12 @@ def centralized_location_free(
         strict-improvement winner), and the head loop stops once the
         maximum solo weight hits 0 (from that point the reference run only
         commits retired singletons, which serve no tag).
+    backend:
+        Solver-kernel backend name (``'auto'``/``'pure'``/``'numpy'``;
+        ``None`` follows the process selection — see
+        :func:`repro.perf.backends.resolve_backend`).  Batches the head
+        solo-weight scan and the local-MWFS candidate ordering; output is
+        bit-identical across backends (``docs/backends.md``).
     """
     check_in_range("rho", rho, 1.0, float("inf"), low_open=True)
     n = system.num_readers
@@ -102,6 +110,7 @@ def centralized_location_free(
         oracle = BitsetWeightOracle(system, unread)
     adj = adjacency_lists(system)
     conflict_rows = conflict_bits(system)
+    kernel = kernel_for(system, backend)
 
     alive: Set[int] = set(range(n))
     solution: List[int] = []
@@ -115,13 +124,18 @@ def centralized_location_free(
             oracle,
             lambda i, j: bool(conflict_rows[i] >> j & 1),
             max_nodes=ball_node_budget,
+            kernel=kernel,
         )
         return best
 
     while alive:
-        # Step 1: remaining reader of maximum solo weight (ties: lowest id).
-        v = min(alive, key=lambda u: (-oracle.solo_weight(u), u))
-        if context is not None and oracle.solo_weight(v) == 0:
+        # Step 1: remaining reader of maximum solo weight (ties: lowest id)
+        # — one batched scan; the first maximum in ascending-id order is
+        # exactly min(alive, key=(-solo, id)).
+        alive_sorted = sorted(alive)
+        solos = kernel.solo_weights(oracle.unread_mask, alive_sorted)
+        v = alive_sorted[int(np.argmax(solos))]
+        if context is not None and int(solos.max()) == 0:
             # Every remaining reader is retired: the reference run would now
             # commit zero-weight singletons one component at a time, none of
             # which serves a tag.  Stop — the served-tag set is unchanged.

@@ -38,6 +38,7 @@ from repro.geometry.shifting import ShiftedHierarchy, Square, scale_radii
 from repro.model.system import RFIDSystem
 from repro.model.weights import BitsetWeightOracle
 from repro.obs.events import CandidateEvaluation, get_recorder
+from repro.perf.backends import kernel_for
 from repro.perf.cache import conflict_bits, system_memo
 from repro.perf.packed import pack_square_bool
 from repro.util.rng import RngLike
@@ -126,10 +127,12 @@ class _ShiftDP:
         leaf_node_budget: int,
         call_budget: int,
         intersect_memo: Dict[Tuple[int, Square], bool],
+        kernel=None,
     ):
         self.h = hierarchy
         self.oracle = oracle
         self.adj = adj
+        self.kernel = kernel
         self.max_d_size = max_d_size
         self.enum_budget = enum_budget
         self.leaf_node_budget = leaf_node_budget
@@ -141,10 +144,17 @@ class _ShiftDP:
 
         # The square index is cached geometry (see _build_square_index); only
         # the own-list ordering — decreasing solo weight for enumeration
-        # quality — depends on the current unread mask, so re-sort per solve.
+        # quality — depends on the current unread mask, so re-sort per solve
+        # (one batched solo-weight pass over the survive disks).
         own_static, self.occupied, self.top_squares = index
+        disks = sorted({d for lst in own_static.values() for d in lst})
+        if kernel is not None and disks:
+            solo_arr = kernel.solo_weights(oracle.unread_mask, disks)
+            solo = dict(zip(disks, (int(w) for w in solo_arr)))
+        else:
+            solo = {d: oracle.solo_weight(d) for d in disks}
         self.own: Dict[Square, List[int]] = {
-            sq: sorted(lst, key=lambda d: (-oracle.solo_weight(d), d))
+            sq: sorted(lst, key=lambda d: (-solo[d], d))
             for sq, lst in own_static.items()
         }
 
@@ -167,6 +177,8 @@ class _ShiftDP:
     def _compatible(self, disks: Sequence[int], interface: FrozenSet[int]) -> List[int]:
         if not interface:
             return list(disks)
+        if self.kernel is not None:
+            return self.kernel.filter_compatible(disks, interface)
         iface_bits = 0
         for i in interface:
             iface_bits |= 1 << i
@@ -196,6 +208,7 @@ class _ShiftDP:
                 self.oracle,
                 lambda i, j: bool(self.adj[i] >> j & 1),
                 max_nodes=self.leaf_node_budget,
+                kernel=self.kernel,
             )
             self.budget_exhausted |= exhausted
             result = tuple(sorted(best))
@@ -215,6 +228,7 @@ class _ShiftDP:
                 self.oracle,
                 lambda i, j: bool(self.adj[i] >> j & 1),
                 max_nodes=self.leaf_node_budget,
+                kernel=self.kernel,
             )
             self.budget_exhausted |= exhausted
             candidates.append(tuple(sorted(bb_best)))
@@ -261,6 +275,7 @@ def ptas_mwfs(
     polish: bool = True,
     oracle: Optional[BitsetWeightOracle] = None,
     context=None,
+    backend: Optional[str] = None,
 ) -> OneShotResult:
     """Algorithm 1: near-optimal MWFS with location information.
 
@@ -289,6 +304,13 @@ def ptas_mwfs(
         retired readers in the polish scan (their gain is exactly 0, never
         ``> best_gain``); the returned set is the same as without pruning
         while the per-square enumerations shrink as tags retire.
+    backend:
+        Solver-kernel backend name (``'auto'``/``'pure'``/``'numpy'``;
+        ``None`` follows the process selection — see
+        :func:`repro.perf.backends.resolve_backend`).  Batches the
+        per-shift solo-weight ordering, the interface-compatibility filter
+        and the polish scans; output is bit-identical across backends
+        (``docs/backends.md``).
     """
     n = system.num_readers
     if n == 0:
@@ -297,6 +319,7 @@ def ptas_mwfs(
         oracle = BitsetWeightOracle(system, unread_bits=context.unread_bits)
     if oracle is None:
         oracle = BitsetWeightOracle(system, unread)
+    kernel = kernel_for(system, backend)
 
     radii = system.interference_radii
     scaled_radii, factor = scale_radii(radii)
@@ -343,6 +366,7 @@ def ptas_mwfs(
             leaf_node_budget,
             call_budget,
             intersect_memo,
+            kernel=kernel,
         )
         candidate = dp.solve()
         any_exhausted |= dp.budget_exhausted
@@ -356,6 +380,7 @@ def ptas_mwfs(
             candidate, w = _polish(
                 list(candidate), w, oracle, adj, n,
                 live=context.is_live if context is not None else None,
+                kernel=kernel,
             )
         if w > best_weight:
             best_weight = w
@@ -367,7 +392,8 @@ def ptas_mwfs(
     # implementation of a max-weight selector should fall back to the best
     # single reader (which is itself a feasible scheduling set).
     if best_weight <= 0:
-        solos = [(oracle.solo_weight(i), -i) for i in range(n)]
+        solo_arr = kernel.solo_weights(oracle.unread_mask, range(n))
+        solos = [(int(solo_arr[i]), -i) for i in range(n)]
         w, neg_i = max(solos)
         if w > best_weight:
             best_set = [-neg_i]
@@ -394,6 +420,7 @@ def _polish(
     adj: Sequence[int],
     n: int,
     live=None,
+    kernel=None,
 ) -> Tuple[List[int], int]:
     """Greedy feasible augmentation: repeatedly add the independent reader
     with the largest positive weight gain.
@@ -421,24 +448,28 @@ def _polish(
     improved = True
     while improved:
         improved = False
-        best_gain = 0
         best_r = None
         best_w = weight
-        for r in range(n):
-            if in_set[r]:
-                continue
-            if live is not None and not live(r):
-                # A retired reader covers no unread tag: weight_with(r)
-                # equals the current weight, so its gain can never exceed
-                # the (positive-only) best_gain threshold below.
-                continue
-            if adj[r] & chosen_bits:
-                continue
-            w = oracle.weight_with(r)
-            if w - weight > best_gain:
-                best_gain = w - weight
-                best_r = r
-                best_w = w
+        # Candidate frontier: not chosen, live, independent of the chosen
+        # set (a retired reader covers no unread tag: weight_with(r) equals
+        # the current weight, so its gain can never exceed the
+        # positive-only acceptance threshold below).  Scored in one batch;
+        # the accepted reader is the first index of the maximum weight —
+        # exactly the scalar loop's strict-improvement (`gain > best_gain`
+        # from 0) winner.
+        cands = [
+            r
+            for r in range(n)
+            if not in_set[r]
+            and (live is None or live(r))
+            and not adj[r] & chosen_bits
+        ]
+        if cands:
+            ws = oracle.weights_with_many(cands, kernel)
+            idx = int(np.argmax(ws))
+            if int(ws[idx]) - weight > 0:
+                best_r = cands[idx]
+                best_w = int(ws[idx])
         if best_r is not None:
             chosen.append(best_r)
             in_set[best_r] = True

@@ -81,6 +81,11 @@ class BitsetWeightOracle:
         self._stack: List[tuple] = []
 
     # -- stateless helpers ------------------------------------------------
+    @property
+    def unread_mask(self) -> int:
+        """Big-int mask of tags that count toward the weight."""
+        return self._unread_mask
+
     def cover_mask(self, reader: int) -> int:
         """Bitmask of tags covered by *reader*."""
         return self._cover[reader]
@@ -147,6 +152,24 @@ class BitsetWeightOracle:
         c = self._cover[reader]
         multi = self._multi | (self._once & c)
         return bit_count((self._once | c) & ~multi & self._unread_mask)
+
+    def weights_with_many(self, candidates: Sequence[int], kernel=None):
+        """:meth:`weight_with` over a whole candidate frontier, as an
+        ``int64`` array aligned with *candidates*.
+
+        With a :class:`~repro.perf.backends.WeightKernel` the evaluation is
+        delegated to the selected backend (batched for the ``numpy``
+        backend); the kernel must be built from the same system as this
+        oracle's masks.  Without one, the scalar loop runs — identical
+        integers either way (the backend bit-identity contract,
+        ``docs/backends.md``)."""
+        if kernel is not None:
+            return kernel.oracle_weights_with(
+                self._once, self._multi, self._unread_mask, candidates
+            )
+        return np.array(
+            [self.weight_with(int(r)) for r in candidates], dtype=np.int64
+        )
 
     def upper_bound_with(self, candidates: Sequence[int]) -> int:
         """Upper bound on the weight of any extension of the current set by a

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.obs.collectors import RunCollector
 from repro.obs.events import recording
 from repro.obs.export import merge_run, run_record
+from repro.perf.backends import resolve_backend, use_backend
 from repro.perf.parallel import fork_map
 
 PathLike = Union[str, Path]
@@ -81,16 +82,23 @@ FULL_MATRIX: Tuple[BenchPoint, ...] = (
 )
 
 
-def run_oneshot_bench(point: BenchPoint) -> dict:
-    """Measure one solver invocation at *point*; returns a run record."""
+def run_oneshot_bench(point: BenchPoint, backend: Optional[str] = None) -> dict:
+    """Measure one solver invocation at *point*; returns a run record.
+
+    *backend* selects the solver-kernel backend for the measured run
+    (resolved via :func:`repro.perf.backends.resolve_backend`); the record
+    carries the resolved name in its ``backend`` field.  The point's label
+    is unchanged, so the WORK_COUNTERS drift check automatically enforces
+    bit-identical work across backends within a trajectory group."""
     from repro.core.oneshot import get_solver
 
+    name = resolve_backend(backend)
     scenario = point.build()
     system = scenario.build()
     solver = get_solver(point.solver, **point.solver_kwargs)
     collector = RunCollector()
     t0 = time.perf_counter()
-    with recording(collector):
+    with use_backend(name), recording(collector):
         result = solver(system, None, scenario.seed)
     wall = time.perf_counter() - t0
     metrics = collector.summary()
@@ -104,10 +112,15 @@ def run_oneshot_bench(point: BenchPoint) -> dict:
         scenario=dataclasses.asdict(scenario),
         metrics=metrics,
         wall_clock_s=wall,
+        backend=name,
     )
 
 
-def run_mcs_bench(point: BenchPoint, incremental: bool = False) -> dict:
+def run_mcs_bench(
+    point: BenchPoint,
+    incremental: bool = False,
+    backend: Optional[str] = None,
+) -> dict:
     """Measure a full greedy covering schedule at *point*; returns a run
     record.
 
@@ -116,16 +129,21 @@ def run_mcs_bench(point: BenchPoint, incremental: bool = False) -> dict:
     label gains a ``+inc`` suffix — incremental runs form their own
     trajectory per scenario point, so the baseline-drift check on the
     default labels keeps comparing like with like.
+
+    *backend* selects the solver-kernel backend (see
+    :func:`run_oneshot_bench`); the resolved name lands in the record's
+    ``backend`` field, never in the label.
     """
     from repro.core.mcs import greedy_covering_schedule
     from repro.core.oneshot import get_solver
 
+    name = resolve_backend(backend)
     scenario = point.build()
     system = scenario.build()
     solver = get_solver(point.solver, **point.solver_kwargs)
     collector = RunCollector()
     t0 = time.perf_counter()
-    with recording(collector):
+    with use_backend(name), recording(collector):
         schedule = greedy_covering_schedule(
             system, solver, seed=scenario.seed, incremental=incremental
         )
@@ -140,22 +158,24 @@ def run_mcs_bench(point: BenchPoint, incremental: bool = False) -> dict:
         scenario=dataclasses.asdict(scenario),
         metrics=metrics,
         wall_clock_s=wall,
+        backend=name,
     )
 
 
-def _run_bench_job(job: Tuple[str, BenchPoint, bool]) -> dict:
-    """Dispatch one (family, point, incremental) job — module-level for
-    worker processes."""
-    family, point, incremental = job
+def _run_bench_job(job: Tuple[str, BenchPoint, bool, Optional[str]]) -> dict:
+    """Dispatch one (family, point, incremental, backend) job —
+    module-level for worker processes."""
+    family, point, incremental, backend = job
     if family == "oneshot":
-        return run_oneshot_bench(point)
-    return run_mcs_bench(point, incremental=incremental)
+        return run_oneshot_bench(point, backend=backend)
+    return run_mcs_bench(point, incremental=incremental, backend=backend)
 
 
 def run_bench_matrix(
     points: Sequence[BenchPoint],
     workers: Optional[int] = None,
     incremental: bool = False,
+    backend: Optional[str] = None,
 ) -> Dict[str, List[dict]]:
     """Run both bench families over *points*; returns records keyed by
     family (``"oneshot"`` / ``"mcs"``).
@@ -169,13 +189,19 @@ def run_bench_matrix(
     ``incremental=True`` measures the pruning layer instead: only the mcs
     family runs (a one-shot solve has no cross-slot state to reuse), each
     record labelled ``<point>+inc``.
+
+    *backend* is resolved once here, in the parent — workers inherit the
+    resolved name through the job tuples, so forked and serial runs select
+    identically even when the parent's environment differs from a fresh
+    worker's.
     """
+    name = resolve_backend(backend)
     if incremental:
-        jobs = [("mcs", p, True) for p in points]
+        jobs = [("mcs", p, True, name) for p in points]
         records = fork_map(_run_bench_job, jobs, workers)
         return {"mcs": records}
-    jobs = [("oneshot", p, False) for p in points] + [
-        ("mcs", p, False) for p in points
+    jobs = [("oneshot", p, False, name) for p in points] + [
+        ("mcs", p, False, name) for p in points
     ]
     records = fork_map(_run_bench_job, jobs, workers)
     return {

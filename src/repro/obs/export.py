@@ -45,7 +45,12 @@ RUN_FIELDS: Dict[str, str] = {
     "wall_clock_s": "end-to-end wall-clock of the measured run, seconds",
     "repro_version": "library version that produced the run",
     "schema_version": "BENCH schema version the record conforms to",
+    "backend": "solver-kernel backend the run executed on ('pure', 'numpy')",
 }
+
+#: ``RUN_FIELDS`` entries a record may omit (added after schema freeze;
+#: absent in records written by older library versions).
+OPTIONAL_RUN_FIELDS = ("backend",)
 
 #: Every metric field exporters may emit, with its meaning.
 METRIC_FIELDS: Dict[str, str] = {
@@ -102,8 +107,13 @@ def run_record(
     scenario: dict,
     metrics: dict,
     wall_clock_s: float,
+    backend: str = None,
 ) -> dict:
-    """Assemble one schema-valid run record (validated before return)."""
+    """Assemble one schema-valid run record (validated before return).
+
+    *backend* names the solver-kernel backend the run executed on; ``None``
+    omits the (optional) field, matching records from before the backend
+    layer existed."""
     from repro import __version__
 
     record = {
@@ -116,15 +126,24 @@ def run_record(
         "repro_version": __version__,
         "schema_version": SCHEMA_VERSION,
     }
+    if backend is not None:
+        record["backend"] = str(backend)
     validate_run(record)
     return record
 
 
 def validate_run(record: dict) -> None:
     """Raise ``ValueError`` unless *record* is a schema-valid run record."""
-    missing = [k for k in RUN_FIELDS if k not in record]
+    missing = [
+        k for k in RUN_FIELDS
+        if k not in record and k not in OPTIONAL_RUN_FIELDS
+    ]
     if missing:
         raise ValueError(f"run record missing fields: {missing}")
+    if "backend" in record:
+        b = record["backend"]
+        if not isinstance(b, str) or not b:
+            raise ValueError(f"backend must be a non-empty string, got {b!r}")
     unknown = [k for k in record if k not in RUN_FIELDS]
     if unknown:
         raise ValueError(f"run record has undeclared fields: {unknown}")

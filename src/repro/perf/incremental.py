@@ -103,6 +103,40 @@ class GeneralizedWeightClimber:
         bits = self._active_bits | (1 << reader)
         return bit_count(self._well_covered(once, bits, extra=reader) & self._unread)
 
+    def weights_with_many(self, candidates, kernel=None) -> np.ndarray:
+        """:meth:`weight_with` over a whole candidate frontier, as an
+        ``int64`` array aligned with *candidates*.
+
+        With a :class:`~repro.perf.backends.WeightKernel` (built from the
+        same system) the generalised rule is evaluated by the selected
+        backend — batched under the ``numpy`` backend; without one the
+        scalar loop runs.  Identical integers either way
+        (``docs/backends.md``)."""
+        if kernel is not None:
+            return kernel.climb_weights_with(
+                self._once,
+                self._multi,
+                self._active,
+                self._active_bits,
+                self._unread,
+                candidates,
+            )
+        return np.array(
+            [self.weight_with(int(r)) for r in candidates], dtype=np.int64
+        )
+
+    def new_coverage_many(self, candidates, kernel=None) -> np.ndarray:
+        """:meth:`new_coverage` over a whole candidate frontier, as an
+        ``int64`` array aligned with *candidates* (backend-delegated like
+        :meth:`weights_with_many`)."""
+        if kernel is not None:
+            return kernel.new_coverage_counts(
+                self._once, self._multi, self._unread, candidates
+            )
+        return np.array(
+            [self.new_coverage(int(r)) for r in candidates], dtype=np.int64
+        )
+
     def current_weight(self) -> int:
         """``w(active)`` of the set grown so far."""
         return bit_count(

@@ -63,6 +63,18 @@ def pack_bool_to_words(arr: np.ndarray) -> np.ndarray:
     return _bytes_to_words(packed8.reshape(1, -1), num_words)[0]
 
 
+def bigint_to_words(value: int, num_words: int) -> np.ndarray:
+    """Unpack a big-int tag mask into a ``(num_words,)`` ``uint64`` array —
+    the inverse of :meth:`PackedCoverage.pack_mask` for masks of at most
+    ``64 * num_words`` bits (bit ``t`` of the big-int = bit ``t % 64`` of
+    word ``t // 64``)."""
+    if num_words == 0:
+        return np.zeros(0, dtype=np.uint64)
+    raw = int(value).to_bytes(num_words * 8, "little")
+    packed8 = np.frombuffer(raw, dtype=np.uint8).reshape(1, num_words * 8)
+    return _bytes_to_words(packed8, num_words)[0]
+
+
 class PackedCoverage:
     """Word-packed view of one system's coverage matrix.
 

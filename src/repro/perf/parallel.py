@@ -16,7 +16,9 @@ Design constraints, in order:
 * *Graceful degradation* — ``workers=None``/``<=1`` or a single payload run
   serially in-process; a platform without ``os.fork`` (Windows, or a
   spawn-only interpreter) degrades to a **thread pool** with the same
-  payload-order merge, after a :class:`RuntimeWarning`.
+  payload-order merge, after a :class:`RuntimeWarning` emitted once per
+  process (the platform does not change between calls, so neither should
+  the noise).
 
 Telemetry contract: events emitted *inside* ``fn`` land in the worker's
 copy of the process-wide recorder and are discarded with the worker.
@@ -41,6 +43,10 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence
 
 _WORKER_FN: Optional[Callable[[Any], Any]] = None
+
+#: Set after the first thread-pool degradation warning; the fallback is a
+#: property of the platform, so it is reported once per process.
+_THREAD_FALLBACK_WARNED = False
 
 
 def _invoke(payload_with_index) -> tuple:
@@ -78,15 +84,19 @@ def fork_map(
     ):
         # No fork on this platform: degrade to threads, keeping the
         # payload-order merge (and hence deterministic results for a
-        # deterministic fn).  Warn once per call — throughput and the
-        # ambient-telemetry isolation differ from the forked path.
-        warnings.warn(
-            "fork_map: os.fork unavailable on this platform; "
-            "falling back to a thread pool (results identical, telemetry "
-            "events from concurrent payloads interleave)",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+        # deterministic fn).  Warn once per process — throughput and the
+        # ambient-telemetry isolation differ from the forked path, but
+        # repeating that on every call buries real warnings.
+        global _THREAD_FALLBACK_WARNED
+        if not _THREAD_FALLBACK_WARNED:
+            _THREAD_FALLBACK_WARNED = True
+            warnings.warn(
+                "fork_map: os.fork unavailable on this platform; "
+                "falling back to a thread pool (results identical, telemetry "
+                "events from concurrent payloads interleave)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         with ThreadPoolExecutor(max_workers=min(count, len(payloads))) as pool:
             return list(pool.map(fn, payloads))
 

@@ -16,9 +16,11 @@ import pytest
 from repro.obs.events import EVENT_TYPES
 from repro.obs.export import METRIC_FIELDS, RUN_FIELDS
 from repro.obs.spans import SPAN_NAMES
+from repro.perf.backends import KERNEL_METHODS, WeightKernel, available_backends
 
 REPO = Path(__file__).resolve().parent.parent
 DOC = REPO / "docs" / "observability.md"
+BACKENDS_DOC = REPO / "docs" / "backends.md"
 
 DOC_PAGES = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
 
@@ -80,6 +82,47 @@ class TestObservabilityContract:
         record = run_mcs_bench(QUICK_MATRIX[0])
         assert set(record) <= set(RUN_FIELDS)
         assert set(record["metrics"]) <= set(METRIC_FIELDS)
+
+
+class TestBackendsContract:
+    """``docs/backends.md`` is diffed against the kernel interface and the
+    backend registry, both directions — same idiom as the telemetry
+    contract above."""
+
+    def test_kernel_method_table_matches_code(self):
+        documented = _table_names(
+            _section(BACKENDS_DOC.read_text(), "Kernel methods")
+        )
+        assert documented == set(KERNEL_METHODS), (
+            f"docs-only: {documented - set(KERNEL_METHODS)}; "
+            f"undocumented: {set(KERNEL_METHODS) - documented}"
+        )
+
+    def test_kernel_methods_match_abstract_interface(self):
+        assert set(KERNEL_METHODS) == set(WeightKernel.__abstractmethods__)
+
+    def test_backend_table_matches_registry(self):
+        documented = _table_names(_section(BACKENDS_DOC.read_text(), "Backends"))
+        assert documented == set(available_backends()), (
+            f"docs-only: {documented - set(available_backends())}; "
+            f"unregistered: {set(available_backends()) - documented}"
+        )
+
+
+def _linked_pages(text: str) -> set:
+    """Filenames of every ``docs/*.md`` page linked from *text* (markdown
+    link targets, with or without the ``docs/`` prefix)."""
+    targets = re.findall(r"\]\(([^)#\s]+\.md)", text)
+    return {Path(t).name for t in targets}
+
+
+def test_every_docs_page_linked_from_readme_and_index():
+    """The repo ``README.md`` and the ``docs/README.md`` index must both
+    link every documentation page — no orphaned docs."""
+    pages = {p.name for p in (REPO / "docs").glob("*.md")} - {"README.md"}
+    for source in (REPO / "README.md", REPO / "docs" / "README.md"):
+        missing = pages - _linked_pages(source.read_text())
+        assert not missing, f"{source}: unlinked docs pages: {sorted(missing)}"
 
 
 def _resolve_module_ref(ref: str) -> bool:

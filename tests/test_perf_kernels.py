@@ -239,7 +239,10 @@ class TestParallelExecution:
         byte-identical, payload-ordered results."""
         import os as os_module
 
+        from repro.perf import parallel as parallel_module
+
         monkeypatch.delattr(os_module, "fork")
+        monkeypatch.setattr(parallel_module, "_THREAD_FALLBACK_WARNED", False)
         payloads = list(range(17))
         with pytest.warns(RuntimeWarning, match="os.fork unavailable"):
             got = fork_map(lambda x: x * 3 + 1, payloads, workers=4)
@@ -250,12 +253,33 @@ class TestParallelExecution:
         available multiprocessing start method."""
         import multiprocessing
 
+        from repro.perf import parallel as parallel_module
+
         monkeypatch.setattr(
             multiprocessing, "get_all_start_methods", lambda: ["spawn"]
         )
+        monkeypatch.setattr(parallel_module, "_THREAD_FALLBACK_WARNED", False)
         with pytest.warns(RuntimeWarning):
             got = fork_map(lambda x: x - 1, [5, 6, 7], workers=2)
         assert got == [4, 5, 6]
+
+    def test_fork_map_thread_fallback_warns_once_per_process(self, monkeypatch):
+        """The degradation warning fires on the first fallback only — the
+        platform does not change between calls, so later calls stay silent
+        (and still produce ordered results)."""
+        import os as os_module
+        import warnings as warnings_module
+
+        from repro.perf import parallel as parallel_module
+
+        monkeypatch.delattr(os_module, "fork")
+        monkeypatch.setattr(parallel_module, "_THREAD_FALLBACK_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="os.fork unavailable"):
+            fork_map(lambda x: x + 1, [1, 2, 3], workers=2)
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            got = fork_map(lambda x: x + 1, [4, 5, 6], workers=2)
+        assert got == [5, 6, 7]
 
     def test_fork_map_serial_paths_never_warn(self, monkeypatch):
         """The degradations for ``workers<=1`` / single payload stay silent
