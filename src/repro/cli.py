@@ -50,6 +50,7 @@ from repro.deployment.scenario import Scenario
 from repro.experiments.figures import FIGURE_DEFAULTS, SOLVER_KWARGS, run_figure
 from repro.experiments.reporting import format_series_table
 from repro.perf.backends import resolve_backend, use_backend
+from repro.shard.spec import ShardSpec
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -91,6 +92,22 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="solver-kernel backend (default: auto; env REPRO_BACKEND "
         "overrides auto) — bit-identical output, see docs/backends.md",
+    )
+    solve.add_argument(
+        "--shard-cells",
+        type=int,
+        default=None,
+        dest="shard_cells",
+        help="with --schedule: solve through the spatial sharding tier with "
+        "this target cell count (0 = auto-size, 1 = bit-identical trivial "
+        "partition; see docs/scale.md)",
+    )
+    solve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="with --shard-cells: solve cells on N forked processes "
+        "(-1 = CPU count); never changes results",
     )
 
     figure = sub.add_parser("figure", help="regenerate an evaluation figure")
@@ -193,6 +210,27 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="solver-kernel backend (default: auto; env REPRO_BACKEND "
         "overrides auto) — bit-identical output, see docs/backends.md",
+    )
+    bench.add_argument(
+        "--scale",
+        action="store_true",
+        help="run the scale-tier matrix instead (sharded vs unsharded "
+        "pairs, BENCH_scale.json; --quick skips the 10^4-reader point; "
+        "see docs/scale.md)",
+    )
+    bench.add_argument(
+        "--shard-cells",
+        type=int,
+        default=None,
+        dest="shard_cells",
+        help="with --scale: override the sharded points' target cell count",
+    )
+    bench.add_argument(
+        "--memory",
+        action="store_true",
+        help="also record peak-memory metrics (peak_tracemalloc_kb / "
+        "peak_rss_kb) for the oneshot/mcs families; the scale family "
+        "records them always",
     )
 
     chaos = sub.add_parser(
@@ -377,6 +415,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     )
     print(f"coverable tags: {int(system.covered_by_any().sum())}/{system.num_tags}")
 
+    if args.shard_cells is not None and (
+        not args.schedule or args.solver == "colorwave"
+    ):
+        print("error: --shard-cells requires --schedule with a one-shot "
+              "solver (see docs/scale.md)", file=sys.stderr)
+        return 2
     if args.schedule:
         if args.solver == "colorwave":
             if args.incremental:
@@ -384,6 +428,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                       "schedule only; colorwave runs unchanged")
             result = colorwave_covering_schedule(system, seed=args.seed)
         else:
+            shard = None
+            if args.shard_cells is not None:
+                shard = ShardSpec(cells=args.shard_cells, workers=args.workers)
             solver = get_solver(args.solver, **SOLVER_KWARGS.get(args.solver, {}))
             with use_backend(backend):
                 result = greedy_covering_schedule(
@@ -392,6 +439,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                     linklayer=args.linklayer,
                     seed=args.seed,
                     incremental=args.incremental,
+                    shard=shard,
                 )
         print(f"covering schedule: {result.size} slots, complete={result.complete}")
         print(f"tags read: {result.tags_read_total}; per-slot: {result.reads_per_slot()}")
@@ -496,6 +544,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_scale(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.shard.bench import (
+        FULL_POINTS,
+        QUICK_POINTS,
+        format_scale_table,
+        run_scale_matrix,
+        write_scale_files,
+    )
+
+    points = list(QUICK_POINTS if args.quick else FULL_POINTS)
+    if args.shard_cells is not None:
+        points = [
+            dataclasses.replace(p, shard_cells=args.shard_cells)
+            if p.shard_cells is not None
+            else p
+            for p in points
+        ]
+    if args.workers is not None:
+        points = [
+            dataclasses.replace(p, workers=args.workers)
+            if p.shard_cells is not None
+            else p
+            for p in points
+        ]
+    print(
+        f"running {'quick' if args.quick else 'full'} scale matrix "
+        f"({len(points)} points, backend: {resolve_backend(args.backend)})"
+    )
+    records = run_scale_matrix(points, backend=args.backend)
+    print(format_scale_table(records))
+    if args.dry_run:
+        print("dry run: BENCH files not written")
+        return 0
+    paths = write_scale_files(records, args.out_dir)
+    for family in sorted(paths):
+        print(f"appended {len(records[family])} {family} runs to {paths[family]}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs.bench import (
         FULL_MATRIX,
@@ -506,6 +595,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench_files,
     )
 
+    if args.scale:
+        return _cmd_bench_scale(args)
     matrix = QUICK_MATRIX if args.quick else FULL_MATRIX
     families = "mcs only, +inc labels" if args.incremental else "oneshot + mcs"
     print(
@@ -518,6 +609,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         workers=args.workers,
         incremental=args.incremental,
         backend=args.backend,
+        measure_memory=args.memory,
     )
     print(format_bench_table(records))
     if args.profile:

@@ -64,6 +64,9 @@ from repro.obs.events import (
 from repro.obs.spans import span
 from repro.perf.backends import kernel_for
 from repro.perf.slotdelta import ScheduleContext
+from repro.shard.partition import ShardPartition
+from repro.shard.runtime import ShardRuntime
+from repro.shard.spec import ShardSpec
 from repro.util.rng import RngLike, as_rng
 
 
@@ -395,6 +398,7 @@ def greedy_covering_schedule(
     faults: Optional[FaultPlan] = None,
     policy: Optional[FaultPolicy] = None,
     max_stall_slots: Optional[int] = None,
+    shard: Optional[ShardSpec] = None,
 ) -> ScheduleResult:
     """Run the greedy covering-schedule loop with the given one-shot solver.
 
@@ -442,6 +446,19 @@ def greedy_covering_schedule(
         Terminate with :attr:`ScheduleOutcome.stalled` after this many
         consecutive slots confirming zero reads.  Defaults to
         ``policy.max_stall_slots`` when the fault path is engaged, else off.
+    shard:
+        Optional :class:`~repro.shard.spec.ShardSpec` engaging the scale
+        tier (``docs/scale.md``): the system is partitioned into spatial
+        cells with one-ring halos, each slot solves the live cells
+        independently (concurrently when ``spec.workers`` asks for it) and
+        merges their owned activations through the deterministic
+        boundary-reconciliation pass.  ``ShardSpec(cells=1)`` (or any
+        deployment collapsing to one cell) is bit-identical to the
+        unsharded driver.  Well-covered extraction, the singleton fallback
+        and retirement still run on the full system, so coverage guarantees
+        are unchanged.  Mutually exclusive with ``faults``/``policy`` (the
+        fault world's reduced candidate views do not compose with cell
+        subsystems).
     """
     if read_mode not in ("all", "single"):
         raise ValueError(f"read_mode must be 'all' or 'single', got {read_mode!r}")
@@ -462,10 +479,24 @@ def greedy_covering_schedule(
     uncovered = np.flatnonzero(~coverable & state.unread_mask)
     cap = max_slots if max_slots is not None else 4 * system.num_readers + 64
 
+    shard_rt: Optional[ShardRuntime] = None
+    if shard is not None:
+        if fault_rt is not None:
+            raise ValueError(
+                "sharded solves do not compose with fault injection; "
+                "pass shard=None or faults=None"
+            )
+        shard_rt = ShardRuntime(
+            ShardPartition.from_system(system, shard),
+            initial_unread=state.unread_mask & coverable,
+            incremental=incremental,
+        )
+
     context: Optional[ScheduleContext] = None
     solver_takes_context = False
     if incremental:
         context = ScheduleContext(system, state.unread_mask & coverable)
+    if incremental or shard is not None:
         try:
             solver_takes_context = (
                 "context" in inspect.signature(solver).parameters
@@ -525,14 +556,21 @@ def greedy_covering_schedule(
                             else:
                                 active = np.empty(0, dtype=np.int64)
                     else:
-                        if solver_takes_context:
-                            result: OneShotResult = solver(
-                                system, unread, rng, context=context
+                        if shard_rt is not None:
+                            active, solver_meta = shard_rt.solve_slot(
+                                len(slots), solver, rng, rec,
+                                takes_context=solver_takes_context,
+                                context=context, unread=unread,
                             )
                         else:
-                            result = solver(system, unread, rng)
-                        active = result.active
-                        solver_meta = dict(result.meta)
+                            if solver_takes_context:
+                                result: OneShotResult = solver(
+                                    system, unread, rng, context=context
+                                )
+                            else:
+                                result = solver(system, unread, rng)
+                            active = result.active
+                            solver_meta = dict(result.meta)
                         well = system.well_covered_tags(active, unread)
                         if len(well) == 0:
                             fallback = _best_singleton(system, unread, context)
@@ -616,6 +654,8 @@ def greedy_covering_schedule(
                     if context is not None:
                         context.retire_tags(confirmed)
                         context.note_active(active)
+                    if shard_rt is not None:
+                        shard_rt.retire(confirmed)
                 if rec.enabled:
                     rec.emit(
                         StageTiming(

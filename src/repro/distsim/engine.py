@@ -12,7 +12,7 @@ stepped in id order and inboxes are sorted by sender id.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence
+from typing import Any, List, Sequence
 
 from repro.distsim.messages import Message
 from repro.obs.events import DistsimRound, get_recorder
@@ -173,15 +173,21 @@ class SyncEngine:
         if not self._started:
             self._start()
         round_no = self.stats.rounds
-        inboxes: Dict[int, List[Message]] = {n.id: [] for n in self.nodes}
-        for msg in self._in_flight:
-            inboxes[msg.receiver].append(msg)
-        for box in inboxes.values():
-            box.sort(key=lambda m: m.sender)
+        # One stable sort by (receiver, sender) replaces the per-message
+        # bucketing into O(nodes) lists plus a per-inbox sort: within each
+        # receiver the sender order (ties in send order) is unchanged, so
+        # delivery order — and hence every protocol trace — is identical.
+        ordered = sorted(self._in_flight, key=lambda m: (m.receiver, m.sender))
         delivered = self._in_flight
         outgoing: List[Message] = []
+        pos = 0
+        total = len(ordered)
         for node in self.nodes:
-            outgoing.extend(node._step(round_no, inboxes[node.id]))
+            start = pos
+            nid = node.id
+            while pos < total and ordered[pos].receiver == nid:
+                pos += 1
+            outgoing.extend(node._step(round_no, ordered[start:pos]))
         self.stats.rounds += 1
         self.stats.messages += len(outgoing)
         if self.tracer is not None:

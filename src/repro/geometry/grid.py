@@ -94,14 +94,57 @@ class SpatialHashGrid:
 
     def pairs_within(self, radius: float) -> List[Tuple[int, int]]:
         """All unordered pairs ``(i, j)``, ``i < j``, within *radius* of each
-        other.  Used to build bounded-radius neighbour graphs in
-        O(n · bucket) instead of O(n²)."""
+        other, in lexicographic order.  Used to build bounded-radius
+        neighbour graphs in O(n · bucket) instead of O(n²).
+
+        Candidates are gathered per *bucket pair* and filtered with one
+        vectorised distance test per pair of buckets: same-bucket pairs via
+        the upper triangle, cross-bucket pairs via each forward offset
+        visited exactly once — so no per-point Python loop and no dedup set.
+        """
         if radius < 0:
             raise ValueError(f"radius must be >= 0, got {radius}")
-        # Each (i, j) with j > i appears exactly once — query_radius returns
-        # distinct indices — so no dedup set is needed.
-        out: List[Tuple[int, int]] = []
-        for i in range(len(self._points)):
-            hits = self.query_radius(self._points[i], radius)
-            out.extend((i, int(j)) for j in hits[hits > i])
-        return out
+        r2 = radius * radius
+        reach = int(np.ceil(radius / self._cell)) if radius > 0 else 0
+        # Forward half of the (2·reach+1)² neighbourhood: each unordered
+        # bucket pair is visited exactly once.
+        offsets = [
+            (dx, dy)
+            for dx in range(0, reach + 1)
+            for dy in range(-reach, reach + 1)
+            if (dx, dy) > (0, 0) or (dx == 0 and dy > 0)
+        ]
+        lo_parts: List[np.ndarray] = []
+        hi_parts: List[np.ndarray] = []
+        for key, a in self._buckets.items():
+            pa = self._points[a]
+            if len(a) > 1:
+                ii, jj = np.triu_indices(len(a), k=1)
+                diff = pa[ii] - pa[jj]
+                close = (diff * diff).sum(axis=1) <= r2
+                # buckets are ascending, so a[ii] < a[jj] already
+                lo_parts.append(a[ii[close]])
+                hi_parts.append(a[jj[close]])
+            for dx, dy in offsets:
+                # nearest possible approach between the two buckets
+                gx = max(abs(dx) - 1, 0)
+                gy = max(abs(dy) - 1, 0)
+                if (gx * gx + gy * gy) * self._cell * self._cell > r2:
+                    continue
+                b = self._buckets.get((key[0] + dx, key[1] + dy))
+                if b is None:
+                    continue
+                pb = self._points[b]
+                diff = pa[:, None, :] - pb[None, :, :]
+                close = (diff * diff).sum(axis=-1) <= r2
+                ai, bj = np.nonzero(close)
+                if ai.size:
+                    ga, gb = a[ai], b[bj]
+                    lo_parts.append(np.minimum(ga, gb))
+                    hi_parts.append(np.maximum(ga, gb))
+        if not lo_parts:
+            return []
+        lo = np.concatenate(lo_parts)
+        hi = np.concatenate(hi_parts)
+        order = np.lexsort((hi, lo))
+        return [(int(i), int(j)) for i, j in zip(lo[order], hi[order])]

@@ -69,8 +69,22 @@ class RFIDSystem:
         )
 
         if n and m:
-            sq = pairwise_sq_distances(self._tag_pos, self._reader_pos)
-            self._coverage = sq <= (self._interrogation_radii[None, :] ** 2)
+            r2 = self._interrogation_radii[None, :] ** 2
+            if n * m <= 4_000_000:
+                sq = pairwise_sq_distances(self._tag_pos, self._reader_pos)
+                self._coverage = sq <= r2
+            else:
+                # Chunk tag rows so the float64 squared-distance transient
+                # stays bounded (~32 MB) however large the deployment; the
+                # boolean result is identical to the one-shot computation.
+                self._coverage = np.empty((m, n), dtype=bool)
+                step = max(1, 4_000_000 // n)
+                for lo in range(0, m, step):
+                    hi = min(lo + step, m)
+                    sq = pairwise_sq_distances(
+                        self._tag_pos[lo:hi], self._reader_pos
+                    )
+                    self._coverage[lo:hi] = sq <= r2
         else:
             self._coverage = np.zeros((m, n), dtype=bool)
 

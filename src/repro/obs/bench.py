@@ -20,7 +20,9 @@ trajectory one run at a time.
 from __future__ import annotations
 
 import dataclasses
+import sys
 import time
+import tracemalloc
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -31,7 +33,58 @@ from repro.obs.export import merge_run, run_record
 from repro.perf.backends import resolve_backend, use_backend
 from repro.perf.parallel import fork_map
 
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None
+
 PathLike = Union[str, Path]
+
+
+class PeakMemory:
+    """Context manager measuring peak memory around a benched region.
+
+    On exit, :attr:`tracemalloc_kb` holds the peak Python-heap size
+    (``tracemalloc``) over the region in KiB, and :attr:`rss_kb` the
+    process peak resident set size (``ru_maxrss``, best-effort: ``None``
+    where the ``resource`` module is unavailable).  Nesting-safe: if
+    tracemalloc is already tracing, the peak counter is reset instead of
+    restarted and tracing is left running on exit.
+
+    Tracemalloc hooks every allocation, so a profiled region pays a
+    measurable wall-clock overhead — which is why memory profiling is
+    opt-in (``measure_memory=``) for the oneshot/mcs families whose
+    wall-clock trajectories predate it, and always-on only for the scale
+    family (``docs/scale.md``).
+    """
+
+    def __enter__(self) -> "PeakMemory":
+        self._owns_trace = not tracemalloc.is_tracing()
+        if self._owns_trace:
+            tracemalloc.start()
+        else:
+            tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _, peak = tracemalloc.get_traced_memory()
+        self.tracemalloc_kb = peak / 1024.0
+        if self._owns_trace:
+            tracemalloc.stop()
+        self.rss_kb: Optional[float] = None
+        if resource is not None:
+            ru = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            # ru_maxrss is KiB on Linux but bytes on macOS
+            self.rss_kb = ru / 1024.0 if sys.platform == "darwin" else float(ru)
+
+    def update_metrics(self, metrics: dict) -> dict:
+        """Fold the measured peaks into a bench *metrics* dict in place
+        (``peak_tracemalloc_kb`` always, ``peak_rss_kb`` best-effort);
+        returns the dict."""
+        metrics["peak_tracemalloc_kb"] = round(self.tracemalloc_kb, 1)
+        if self.rss_kb is not None:
+            metrics["peak_rss_kb"] = round(self.rss_kb, 1)
+        return metrics
 
 
 @dataclass(frozen=True)
@@ -82,14 +135,22 @@ FULL_MATRIX: Tuple[BenchPoint, ...] = (
 )
 
 
-def run_oneshot_bench(point: BenchPoint, backend: Optional[str] = None) -> dict:
+def run_oneshot_bench(
+    point: BenchPoint,
+    backend: Optional[str] = None,
+    measure_memory: bool = False,
+) -> dict:
     """Measure one solver invocation at *point*; returns a run record.
 
     *backend* selects the solver-kernel backend for the measured run
     (resolved via :func:`repro.perf.backends.resolve_backend`); the record
     carries the resolved name in its ``backend`` field.  The point's label
     is unchanged, so the WORK_COUNTERS drift check automatically enforces
-    bit-identical work across backends within a trajectory group."""
+    bit-identical work across backends within a trajectory group.
+
+    ``measure_memory=True`` additionally records ``peak_tracemalloc_kb`` /
+    ``peak_rss_kb`` via :class:`PeakMemory` (opt-in: tracing slows the
+    measured region, and wall-clock trajectories must stay comparable)."""
     from repro.core.oneshot import get_solver
 
     name = resolve_backend(backend)
@@ -97,11 +158,18 @@ def run_oneshot_bench(point: BenchPoint, backend: Optional[str] = None) -> dict:
     system = scenario.build()
     solver = get_solver(point.solver, **point.solver_kwargs)
     collector = RunCollector()
+    mem = PeakMemory() if measure_memory else None
     t0 = time.perf_counter()
-    with use_backend(name), recording(collector):
-        result = solver(system, None, scenario.seed)
+    if mem is None:
+        with use_backend(name), recording(collector):
+            result = solver(system, None, scenario.seed)
+    else:
+        with mem, use_backend(name), recording(collector):
+            result = solver(system, None, scenario.seed)
     wall = time.perf_counter() - t0
     metrics = collector.summary()
+    if mem is not None:
+        mem.update_metrics(metrics)
     metrics["weight"] = int(result.weight)
     metrics["active_readers"] = int(result.size)
     metrics["feasible"] = bool(result.feasible)
@@ -120,6 +188,7 @@ def run_mcs_bench(
     point: BenchPoint,
     incremental: bool = False,
     backend: Optional[str] = None,
+    measure_memory: bool = False,
 ) -> dict:
     """Measure a full greedy covering schedule at *point*; returns a run
     record.
@@ -132,7 +201,8 @@ def run_mcs_bench(
 
     *backend* selects the solver-kernel backend (see
     :func:`run_oneshot_bench`); the resolved name lands in the record's
-    ``backend`` field, never in the label.
+    ``backend`` field, never in the label.  ``measure_memory=True`` opts
+    into the :class:`PeakMemory` metrics, as in :func:`run_oneshot_bench`.
     """
     from repro.core.mcs import greedy_covering_schedule
     from repro.core.oneshot import get_solver
@@ -142,13 +212,22 @@ def run_mcs_bench(
     system = scenario.build()
     solver = get_solver(point.solver, **point.solver_kwargs)
     collector = RunCollector()
+    mem = PeakMemory() if measure_memory else None
     t0 = time.perf_counter()
-    with use_backend(name), recording(collector):
-        schedule = greedy_covering_schedule(
-            system, solver, seed=scenario.seed, incremental=incremental
-        )
+    if mem is None:
+        with use_backend(name), recording(collector):
+            schedule = greedy_covering_schedule(
+                system, solver, seed=scenario.seed, incremental=incremental
+            )
+    else:
+        with mem, use_backend(name), recording(collector):
+            schedule = greedy_covering_schedule(
+                system, solver, seed=scenario.seed, incremental=incremental
+            )
     wall = time.perf_counter() - t0
     metrics = collector.summary()
+    if mem is not None:
+        mem.update_metrics(metrics)
     metrics["slots_to_completion"] = int(schedule.size)
     metrics["complete"] = bool(schedule.complete)
     return run_record(
@@ -162,13 +241,22 @@ def run_mcs_bench(
     )
 
 
-def _run_bench_job(job: Tuple[str, BenchPoint, bool, Optional[str]]) -> dict:
-    """Dispatch one (family, point, incremental, backend) job —
-    module-level for worker processes."""
-    family, point, incremental, backend = job
+def _run_bench_job(
+    job: Tuple[str, BenchPoint, bool, Optional[str], bool]
+) -> dict:
+    """Dispatch one (family, point, incremental, backend, measure_memory)
+    job — module-level for worker processes."""
+    family, point, incremental, backend, measure_memory = job
     if family == "oneshot":
-        return run_oneshot_bench(point, backend=backend)
-    return run_mcs_bench(point, incremental=incremental, backend=backend)
+        return run_oneshot_bench(
+            point, backend=backend, measure_memory=measure_memory
+        )
+    return run_mcs_bench(
+        point,
+        incremental=incremental,
+        backend=backend,
+        measure_memory=measure_memory,
+    )
 
 
 def run_bench_matrix(
@@ -176,6 +264,7 @@ def run_bench_matrix(
     workers: Optional[int] = None,
     incremental: bool = False,
     backend: Optional[str] = None,
+    measure_memory: bool = False,
 ) -> Dict[str, List[dict]]:
     """Run both bench families over *points*; returns records keyed by
     family (``"oneshot"`` / ``"mcs"``).
@@ -194,14 +283,18 @@ def run_bench_matrix(
     resolved name through the job tuples, so forked and serial runs select
     identically even when the parent's environment differs from a fresh
     worker's.
+
+    ``measure_memory=True`` opts every job into the :class:`PeakMemory`
+    metrics; under forked workers each job traces its own process, so the
+    peaks are per-run, not per-pool.
     """
     name = resolve_backend(backend)
     if incremental:
-        jobs = [("mcs", p, True, name) for p in points]
+        jobs = [("mcs", p, True, name, measure_memory) for p in points]
         records = fork_map(_run_bench_job, jobs, workers)
         return {"mcs": records}
-    jobs = [("oneshot", p, False, name) for p in points] + [
-        ("mcs", p, False, name) for p in points
+    jobs = [("oneshot", p, False, name, measure_memory) for p in points] + [
+        ("mcs", p, False, name, measure_memory) for p in points
     ]
     records = fork_map(_run_bench_job, jobs, workers)
     return {

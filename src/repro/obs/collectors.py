@@ -21,6 +21,7 @@ from repro.obs.events import (
     Recorder,
     ScheduleDegraded,
     ScheduleDone,
+    ShardMerge,
     SlotEnd,
     SlotStart,
     SolverCall,
@@ -58,6 +59,12 @@ class RunCollector(Recorder):
         ``schedule_degradations``).  Exported by :meth:`summary` only when
         the fault layer emitted at least one event, so default-path records
         keep exactly their historical shape.
+    shard_counters:
+        Tallies of the sharded driver's merge events (``shard_cells``,
+        ``shard_halo_readers``, ``shard_boundary_repairs``), summed over
+        slots.  Like the fault counters, exported by :meth:`summary` only
+        when at least one :class:`~repro.obs.events.ShardMerge` event was
+        seen — unsharded records keep their historical shape.
     ignored_events:
         Count of events outside the :data:`~repro.obs.events.EVENT_TYPES`
         taxonomy that this collector received and skipped.  Never exported
@@ -92,6 +99,12 @@ class RunCollector(Recorder):
             "schedule_degradations": 0,
         }
         self._fault_events_seen = False
+        self.shard_counters: Dict[str, int] = {
+            "shard_cells": 0,
+            "shard_halo_readers": 0,
+            "shard_boundary_repairs": 0,
+        }
+        self._shard_events_seen = False
         self.solver_times = Stopwatch()
         self.stage_times = Stopwatch()
         self.sweep_times = Stopwatch()
@@ -153,6 +166,11 @@ class RunCollector(Recorder):
         elif isinstance(event, ScheduleDegraded):
             self.fault_counters["schedule_degradations"] += 1
             self._fault_events_seen = True
+        elif isinstance(event, ShardMerge):
+            self.shard_counters["shard_cells"] += event.cells_solved
+            self.shard_counters["shard_halo_readers"] += event.halo_readers
+            self.shard_counters["shard_boundary_repairs"] += event.boundary_repairs
+            self._shard_events_seen = True
         elif isinstance(event, ScheduleDone):
             self.schedule_complete = event.complete
         elif isinstance(event, SweepPoint):
@@ -183,6 +201,8 @@ class RunCollector(Recorder):
             }
         if self._fault_events_seen:
             out.update(self.fault_counters)
+        if self._shard_events_seen:
+            out.update(self.shard_counters)
         out["tags_per_slot"] = list(self.tags_per_slot)
         out["sets_per_slot"] = list(self.sets_per_slot)
         if self.schedule_complete is not None:

@@ -41,6 +41,7 @@ DEFAULT_BENCH_FILES: Tuple[str, ...] = (
     "BENCH_oneshot.json",
     "BENCH_mcs.json",
     "BENCH_chaos.json",
+    "BENCH_scale.json",
 )
 
 #: Pinned work counters per bench family: deterministic given the scenario
@@ -67,6 +68,18 @@ WORK_COUNTERS: Dict[str, Tuple[str, ...]] = {
         "coverage_fraction",
         "slowdown",
         "complete",
+    ),
+    "scale": (
+        "slots",
+        "tags_read",
+        "tags_per_slot",
+        "sets_evaluated",
+        "rrc_blocked",
+        "rtc_silenced",
+        "complete",
+        "shard_cells",
+        "shard_halo_readers",
+        "shard_boundary_repairs",
     ),
 }
 

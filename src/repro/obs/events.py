@@ -183,6 +183,20 @@ class ScheduleDegraded:
 
 
 @dataclass(frozen=True)
+class ShardMerge:
+    """The sharded driver merged slot *slot*: *cells_solved* live cells were
+    solved against *halo_readers* advisory halo readers, and the
+    boundary-reconciliation pass repaired *boundary_repairs* cross-cell
+    RTc conflicts, leaving *active_readers* readers in the merged set."""
+
+    slot: int
+    cells_solved: int
+    halo_readers: int
+    boundary_repairs: int
+    active_readers: int
+
+
+@dataclass(frozen=True)
 class SweepPoint:
     """One replicated sweep measurement: ``measure(value, seed)`` at sweep
     parameter *param* took *seconds*."""
@@ -236,6 +250,7 @@ EVENT_TYPES: Tuple[type, ...] = (
     ReadMissed,
     SolverDeadline,
     ScheduleDegraded,
+    ShardMerge,
     SweepPoint,
     SpanStart,
     SpanEnd,

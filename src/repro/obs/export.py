@@ -37,7 +37,7 @@ PathLike = Union[str, Path]
 
 #: Every field a run record may carry at its top level, with its meaning.
 RUN_FIELDS: Dict[str, str] = {
-    "bench": "benchmark family, 'oneshot', 'mcs' or 'chaos'",
+    "bench": "benchmark family, 'oneshot', 'mcs', 'chaos' or 'scale'",
     "label": "human-readable scenario point label",
     "solver": "registry name of the solver under measurement",
     "scenario": "generator parameters: readers, tags, side, lambdas, seed",
@@ -86,6 +86,11 @@ METRIC_FIELDS: Dict[str, str] = {
     "slowdown": "slots-to-completion ratio versus the fault-free baseline",
     "fault_fail_rate": "per-slot flaky-activation probability injected",
     "fault_miss_rate": "per-read miss probability injected",
+    "shard_cells": "live spatial cells solved, summed over slots",
+    "shard_halo_readers": "advisory halo readers shipped to cell solves, summed over slots",
+    "shard_boundary_repairs": "cross-cell RTc conflicts repaired by the merge pass",
+    "peak_tracemalloc_kb": "peak Python heap during the measured run (tracemalloc), KiB",
+    "peak_rss_kb": "peak resident set size of the process (ru_maxrss, best-effort), KiB",
 }
 
 #: Metric fields every run of a given bench family must include.
@@ -97,6 +102,8 @@ REQUIRED_METRICS: Dict[str, List[str]] = {
     "chaos": ["slots_to_completion", "tags_read", "complete", "outcome",
               "coverage_fraction", "slowdown", "fault_fail_rate",
               "fault_miss_rate"],
+    "scale": ["slots", "tags_read", "complete", "solver_calls",
+              "solver_wall_clock_s", "tags_per_slot"],
 }
 
 

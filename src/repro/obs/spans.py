@@ -66,6 +66,11 @@ SPAN_NAMES: Dict[str, str] = {
     "message-passing engine (distsim.engine.SyncEngine.run)",
     "sweep.run": "one replicated experiment sweep over its parameter grid "
     "(experiments.sweep.run_sweep)",
+    "shard.solve": "one spatial cell's slot solve in the sharded driver "
+    "(shard.runtime.ShardRuntime.solve_slot); the cell's replayed solver "
+    "events nest under it",
+    "shard.merge": "the slot's boundary-reconciliation pass merging "
+    "per-cell activations (shard.runtime.ShardRuntime.solve_slot)",
 }
 
 _ids = count(1)

@@ -1,0 +1,396 @@
+"""Spatial partition of a deployment into cells with one-ring halos.
+
+The partition assigns every reader to the square grid cell containing it
+and materialises, per cell, a self-contained :class:`~repro.model.system.
+RFIDSystem` over the cell's **owned** readers, its **halo** readers (nearby
+readers from neighbouring cells whose activation can influence the cell),
+and a band of tags wide enough that every owned tag's coverage is fully
+represented.  Because the cell side is at least the interaction radius
+``H`` of :func:`repro.shard.spec.interaction_radius`, all of this lives in
+the cell's 3×3 bucket neighbourhood — the one-ring halo contract.
+
+Ownership rules (``docs/scale.md``):
+
+* a **reader** is owned by the cell containing its position;
+* a coverable **tag** is owned by the cell of its lowest-id covering
+  reader.  This is deterministic, assigns each coverable tag to exactly one
+  cell, and — crucially — guarantees the owner cell can serve the tag with
+  its own readers, so boundary tags whose position falls in a readerless
+  cell are never starved;
+* tags covered by no reader are unowned (they are the ``uncovered_tags``
+  of the schedule and can never be read).
+
+The grid is the same construction as
+:class:`~repro.geometry.grid.SpatialHashGrid` — ``floor((p - origin)/side)``
+bucket keys — anchored at the deployment's bounding-box corner and kept
+sparse: only buckets containing readers become cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.points import as_points
+from repro.model.system import RFIDSystem, build_system
+from repro.shard.spec import ShardSpec, interaction_radius
+
+Key = Tuple[int, int]
+
+#: Chebyshev one-ring offsets around a bucket, the bucket itself excluded.
+RING_OFFSETS: Tuple[Key, ...] = tuple(
+    (dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1) if (dx, dy) != (0, 0)
+)
+
+
+def _bucket_keys(points: np.ndarray, origin: np.ndarray, side: float) -> np.ndarray:
+    """Integer grid keys ``floor((p - origin)/side)`` of *points*, ``(k, 2)``."""
+    if len(points) == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.floor((points - origin[None, :]) / side).astype(np.int64)
+
+
+def _group_by_key(keys: np.ndarray) -> Dict[Key, np.ndarray]:
+    """Indices grouped by grid key; each bucket ascending (stable sort)."""
+    buckets: Dict[Key, np.ndarray] = {}
+    if len(keys) == 0:
+        return buckets
+    order = np.lexsort((keys[:, 1], keys[:, 0]))
+    sorted_keys = keys[order]
+    change = np.flatnonzero(
+        (sorted_keys[1:] != sorted_keys[:-1]).any(axis=1)
+    )
+    starts = np.concatenate(([0], change + 1, [len(order)]))
+    for s, e in zip(starts[:-1], starts[1:]):
+        kx, ky = sorted_keys[s]
+        buckets[(int(kx), int(ky))] = np.sort(order[s:e])
+    return buckets
+
+
+def _dist_to_rect(
+    points: np.ndarray, x0: float, x1: float, y0: float, y1: float
+) -> np.ndarray:
+    """Euclidean distance from each point to the closed rectangle (0 inside)."""
+    dx = np.clip(points[:, 0], x0, x1) - points[:, 0]
+    dy = np.clip(points[:, 1], y0, y1) - points[:, 1]
+    return np.hypot(dx, dy)
+
+
+@dataclass
+class ShardCell:
+    """One spatial cell of a :class:`ShardPartition`.
+
+    ``reader_ids`` are the owned readers, ``halo_reader_ids`` the advisory
+    neighbours; ``all_reader_ids`` is their sorted union and gives the
+    local→global reader id map of ``subsystem`` (local id *i* is global id
+    ``all_reader_ids[i]``).  ``tag_ids`` plays the same role for tags.
+    ``owned_reader_mask`` / ``owned_tag_mask`` are boolean masks over the
+    local ids marking ownership.
+    """
+
+    index: int
+    key: Key
+    bounds: Tuple[float, float, float, float]
+    reader_ids: np.ndarray
+    halo_reader_ids: np.ndarray
+    all_reader_ids: np.ndarray
+    tag_ids: np.ndarray
+    owned_reader_mask: np.ndarray
+    owned_tag_mask: np.ndarray
+    subsystem: RFIDSystem = field(repr=False)
+
+    @property
+    def num_owned_tags(self) -> int:
+        """Count of tags owned by this cell."""
+        return int(self.owned_tag_mask.sum())
+
+
+class ShardPartition:
+    """A sharded view of a deployment: cells, halos and ownership maps.
+
+    Build via :meth:`from_system` (keeps a handle to the original
+    :class:`~repro.model.system.RFIDSystem` for the trivial fast path) or
+    :meth:`from_arrays` (array-first; the 10⁴-reader scale path never
+    materialises a global system).
+
+    Attributes
+    ----------
+    cells:
+        :class:`ShardCell` list; ``cells[i].index == i``.
+    cell_of_reader:
+        ``(n,)`` owner cell index per reader.
+    owner_of_tag:
+        ``(m,)`` owner cell index per tag, ``-1`` for uncoverable tags.
+    is_trivial:
+        True when the deployment collapses to at most one cell; the sharded
+        driver then short-circuits to a direct full-system solve.
+    """
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        origin: np.ndarray,
+        cell_side: float,
+        cells: List[ShardCell],
+        cell_of_reader: np.ndarray,
+        owner_of_tag: np.ndarray,
+        reader_positions: np.ndarray,
+        interference_radii: np.ndarray,
+        system: Optional[RFIDSystem] = None,
+    ):
+        self.spec = spec
+        self.origin = origin
+        self.cell_side = float(cell_side)
+        self.cells = cells
+        self.cell_of_reader = cell_of_reader
+        self.owner_of_tag = owner_of_tag
+        self.reader_positions = reader_positions
+        self.interference_radii = interference_radii
+        #: The original full system (trivial partitions require it; the
+        #: array-first scale path leaves it None on non-trivial partitions).
+        self.system = system
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        """Number of cells."""
+        return len(self.cells)
+
+    @property
+    def is_trivial(self) -> bool:
+        """Whether the partition has at most one cell (solve unsharded)."""
+        return len(self.cells) <= 1
+
+    @property
+    def total_halo_readers(self) -> int:
+        """Halo reader slots summed over cells (readers counted once per
+        cell that imports them)."""
+        return int(sum(len(c.halo_reader_ids) for c in self.cells))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_system(cls, system: RFIDSystem, spec: ShardSpec) -> "ShardPartition":
+        """Partition an existing :class:`~repro.model.system.RFIDSystem`."""
+        return cls.from_arrays(
+            system.reader_positions,
+            system.interference_radii,
+            system.interrogation_radii,
+            system.tag_positions,
+            spec,
+            system=system,
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        reader_positions: np.ndarray,
+        interference_radii: np.ndarray,
+        interrogation_radii: np.ndarray,
+        tag_positions: np.ndarray,
+        spec: ShardSpec,
+        system: Optional[RFIDSystem] = None,
+    ) -> "ShardPartition":
+        """Partition a deployment given as raw arrays.
+
+        When *system* is provided it becomes the trivial partition's
+        subsystem (and is kept for the runtime's trivial fast path);
+        otherwise a trivial partition builds one from the arrays.
+        """
+        rpos = as_points(reader_positions, "reader_positions")
+        tpos = (
+            as_points(tag_positions, "tag_positions")
+            if len(np.atleast_1d(tag_positions))
+            else np.empty((0, 2))
+        )
+        R = np.asarray(interference_radii, dtype=np.float64)
+        gamma = np.asarray(interrogation_radii, dtype=np.float64)
+        n, m = len(rpos), len(tpos)
+        if R.shape != (n,) or gamma.shape != (n,):
+            raise ValueError("radii arrays must match number of readers")
+
+        def trivial() -> "ShardPartition":
+            return cls._trivial(rpos, R, gamma, tpos, spec, system)
+
+        if n == 0 or spec.cells == 1:
+            return trivial()
+        all_pts = np.vstack([rpos, tpos]) if m else rpos
+        mins = all_pts.min(axis=0)
+        maxs = all_pts.max(axis=0)
+        w, h = (maxs - mins)
+        extent = float(np.sqrt(max(w, 0.0) * max(h, 0.0)))
+        side = spec.cell_side(R, gamma, extent)
+        if side <= 0.0:
+            return trivial()
+        origin = mins
+
+        reader_keys = _bucket_keys(rpos, origin, side)
+        reader_buckets = _group_by_key(reader_keys)
+        if len(reader_buckets) <= 1:
+            return trivial()
+        tag_buckets = _group_by_key(_bucket_keys(tpos, origin, side))
+
+        cell_keys = sorted(reader_buckets)
+        cell_index = {key: i for i, key in enumerate(cell_keys)}
+        cell_of_reader = np.empty(n, dtype=np.int64)
+        for key, ids in reader_buckets.items():
+            cell_of_reader[ids] = cell_index[key]
+
+        # Tag ownership: cell of the lowest-id covering reader.  Any reader
+        # covering a tag is within gamma_max <= H <= side of it, hence in
+        # the tag bucket's one-ring neighbourhood.
+        owner_of_tag = np.full(m, -1, dtype=np.int64)
+        gamma_sq = gamma * gamma
+        for key, tids in tag_buckets.items():
+            cand_parts = [
+                reader_buckets[k]
+                for k in (
+                    (key[0] + dx, key[1] + dy)
+                    for dx in (-1, 0, 1)
+                    for dy in (-1, 0, 1)
+                )
+                if k in reader_buckets
+            ]
+            if not cand_parts:
+                continue
+            cand = (
+                cand_parts[0]
+                if len(cand_parts) == 1
+                else np.sort(np.concatenate(cand_parts))
+            )
+            diff = tpos[tids][:, None, :] - rpos[cand][None, :, :]
+            covers = (diff * diff).sum(axis=-1) <= gamma_sq[cand][None, :]
+            covered = covers.any(axis=1)
+            if not covered.any():
+                continue
+            # cand is ascending, so argmax finds the lowest covering id
+            first = np.argmax(covers[covered], axis=1)
+            owner_of_tag[tids[covered]] = cell_of_reader[cand[first]]
+
+        cells: List[ShardCell] = []
+        for idx, key in enumerate(cell_keys):
+            owned = reader_buckets[key]
+            x0 = float(origin[0] + key[0] * side)
+            y0 = float(origin[1] + key[1] * side)
+            x1, y1 = x0 + side, y0 + side
+            R_own = float(R[owned].max())
+            g_own = float(gamma[owned].max())
+
+            ring_parts = [
+                reader_buckets[k]
+                for k in ((key[0] + dx, key[1] + dy) for dx, dy in RING_OFFSETS)
+                if k in reader_buckets
+            ]
+            if ring_parts:
+                ring = np.concatenate(ring_parts)
+                dist = _dist_to_rect(rpos[ring], x0, x1, y0, y1)
+                # reader j can conflict with an owned reader
+                # (d <= max(R_j, R_own)) or cover a tag owned here
+                # (d <= gamma_j + g_own); both bounds are <= H <= side,
+                # so the one-ring candidates are exhaustive.
+                reach = np.maximum(np.maximum(R[ring], R_own), gamma[ring] + g_own)
+                halo = np.sort(ring[dist <= reach])
+            else:
+                halo = np.empty(0, dtype=np.int64)
+
+            all_readers = np.sort(np.concatenate([owned, halo]))
+            owned_reader_mask = np.isin(all_readers, owned, assume_unique=True)
+
+            g_inc = float(gamma[all_readers].max())
+            tag_parts = [
+                tag_buckets[k]
+                for k in (
+                    (key[0] + dx, key[1] + dy)
+                    for dx in (-1, 0, 1)
+                    for dy in (-1, 0, 1)
+                )
+                if k in tag_buckets
+            ]
+            if tag_parts:
+                band_cand = np.concatenate(tag_parts)
+                dist = _dist_to_rect(tpos[band_cand], x0, x1, y0, y1)
+                keep = (dist <= g_inc) | (owner_of_tag[band_cand] == idx)
+                tag_ids = np.sort(band_cand[keep])
+            else:
+                tag_ids = np.empty(0, dtype=np.int64)
+            owned_tag_mask = owner_of_tag[tag_ids] == idx
+
+            subsystem = build_system(
+                rpos[all_readers], R[all_readers], gamma[all_readers],
+                tpos[tag_ids],
+            )
+            cells.append(
+                ShardCell(
+                    index=idx,
+                    key=key,
+                    bounds=(x0, x1, y0, y1),
+                    reader_ids=owned,
+                    halo_reader_ids=halo,
+                    all_reader_ids=all_readers,
+                    tag_ids=tag_ids,
+                    owned_reader_mask=owned_reader_mask,
+                    owned_tag_mask=owned_tag_mask,
+                    subsystem=subsystem,
+                )
+            )
+        return cls(
+            spec=spec,
+            origin=origin,
+            cell_side=side,
+            cells=cells,
+            cell_of_reader=cell_of_reader,
+            owner_of_tag=owner_of_tag,
+            reader_positions=rpos,
+            interference_radii=R,
+            system=system,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def _trivial(
+        cls,
+        rpos: np.ndarray,
+        R: np.ndarray,
+        gamma: np.ndarray,
+        tpos: np.ndarray,
+        spec: ShardSpec,
+        system: Optional[RFIDSystem],
+    ) -> "ShardPartition":
+        """The one-cell partition: everything owned, no halo.  The runtime
+        short-circuits it to a direct full-system solve, so
+        ``owner_of_tag`` (all zeros) is never consulted for coverage."""
+        n, m = len(rpos), len(tpos)
+        full = system if system is not None else build_system(rpos, R, gamma, tpos)
+        side = interaction_radius(R, gamma)
+        origin = rpos.min(axis=0) if n else np.zeros(2)
+        all_readers = np.arange(n, dtype=np.int64)
+        all_tags = np.arange(m, dtype=np.int64)
+        cell = ShardCell(
+            index=0,
+            key=(0, 0),
+            bounds=(
+                float(origin[0]),
+                float(origin[0] + max(side, 1.0)),
+                float(origin[1]),
+                float(origin[1] + max(side, 1.0)),
+            ),
+            reader_ids=all_readers,
+            halo_reader_ids=np.empty(0, dtype=np.int64),
+            all_reader_ids=all_readers,
+            tag_ids=all_tags,
+            owned_reader_mask=np.ones(n, dtype=bool),
+            owned_tag_mask=np.ones(m, dtype=bool),
+            subsystem=full,
+        )
+        return cls(
+            spec=spec,
+            origin=origin,
+            cell_side=float(max(side, 1.0)),
+            cells=[cell],
+            cell_of_reader=np.zeros(n, dtype=np.int64),
+            owner_of_tag=np.zeros(m, dtype=np.int64),
+            reader_positions=rpos,
+            interference_radii=R,
+            system=full,
+        )

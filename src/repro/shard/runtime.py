@@ -1,0 +1,341 @@
+"""Per-slot execution engine for sharded covering schedules.
+
+:class:`ShardRuntime` owns the mutable cross-slot state of a sharded solve:
+one :class:`~repro.perf.slotdelta.ScheduleContext` per cell, tracking that
+cell's **owned** unread tags (halo tags start read locally, so each tag's
+weight is credited to exactly one cell).  Every slot it
+
+1. solves each *live* cell (one with owned unread tags left) independently
+   on its halo-augmented subsystem — concurrently via
+   :func:`~repro.perf.parallel.fork_map` when ``spec.workers`` asks for it,
+   with per-cell child seeds drawn from the driver's stream so worker count
+   never changes results;
+2. keeps only each cell's **owned** activations (halo readers are advisory:
+   they model neighbour interference but only their owner cell may activate
+   them);
+3. merges the per-cell sets in deterministic cell order and runs the
+   boundary-reconciliation pass: cross-cell RTc conflicts that survive the
+   halo modelling (each cell solved against the halo's *candidates*, not
+   its neighbours' *decisions*) are repaired greedily, dropping the reader
+   with the smaller remaining-coverage value (ties to the higher id) until
+   the merged set has no cross-cell conflict.
+
+Intra-cell feasibility is the cell solver's business and is left untouched
+— the driver's well-covered extraction (Definition 1 generalised) is
+computed on the full system afterwards, exactly as for unsharded solves.
+
+Trivial partitions (one cell) bypass all of this: the slot is solved by a
+direct full-system solver call with the driver's own rng and calling
+convention, making ``cells == 1`` bit-identical to the unsharded driver
+(certified by ``tests/test_shard.py`` and the paired BENCH_scale records).
+
+Telemetry: each live cell's solve is replayed in the parent under a
+``shard.solve`` span (worker-side span events are dropped — forked workers
+clone the span-id counter, so their ids cannot be merged), the merge pass
+runs under ``shard.merge``, and a :class:`~repro.obs.events.ShardMerge`
+event carries the slot's work counters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.events import (
+    ShardMerge,
+    SpanEnd,
+    SpanStart,
+    TraceRecorder,
+    recording,
+)
+from repro.obs.spans import span
+from repro.perf.parallel import fork_map
+from repro.perf.slotdelta import ScheduleContext
+from repro.shard.partition import ShardPartition
+from repro.util.rng import as_rng
+
+
+class ShardRuntime:
+    """Cross-slot state and per-slot solve/merge logic for one partition.
+
+    Parameters
+    ----------
+    partition:
+        The :class:`~repro.shard.partition.ShardPartition` to run over.
+    initial_unread:
+        Global boolean unread mask (the driver's coverable-unread
+        population); defaults to everything unread.  Each cell's context
+        starts from this mask restricted to the cell's owned tags.
+    incremental:
+        Forwarded semantics of the driver's ``incremental`` flag: when True
+        (and the solver accepts a ``context``), cell solves receive their
+        cell's live :class:`~repro.perf.slotdelta.ScheduleContext` for
+        retirement pruning and warm starts.
+    """
+
+    def __init__(
+        self,
+        partition: ShardPartition,
+        initial_unread: Optional[np.ndarray] = None,
+        incremental: bool = False,
+    ):
+        self.partition = partition
+        self.incremental = incremental
+        self._contexts: Optional[List[ScheduleContext]] = None
+        if not partition.is_trivial:
+            contexts = []
+            for cell in partition.cells:
+                local_unread = cell.owned_tag_mask.copy()
+                if initial_unread is not None:
+                    local_unread &= np.asarray(initial_unread, dtype=bool)[
+                        cell.tag_ids
+                    ]
+                contexts.append(
+                    ScheduleContext(cell.subsystem, local_unread)
+                )
+            self._contexts = contexts
+        # per-solve scratch shared with forked workers (set before fork_map)
+        self._solver = None
+        self._takes_context = False
+        self._collect = False
+
+    # ------------------------------------------------------------------
+    @property
+    def num_unread(self) -> int:
+        """Unread owned tags summed over cells (non-trivial runtimes only)."""
+        if self._contexts is None:
+            raise RuntimeError("trivial runtime does not track unread tags")
+        return sum(ctx.num_unread for ctx in self._contexts)
+
+    def live_cells(self) -> List[int]:
+        """Indices of cells with owned unread tags remaining, ascending."""
+        if self._contexts is None:
+            raise RuntimeError("trivial runtime does not track unread tags")
+        return [
+            i for i, ctx in enumerate(self._contexts) if ctx.num_unread > 0
+        ]
+
+    # ------------------------------------------------------------------
+    def solve_slot(
+        self,
+        slot: int,
+        solver,
+        rng,
+        rec,
+        takes_context: bool = False,
+        context: Optional[ScheduleContext] = None,
+        unread: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, dict]:
+        """Produce the slot's merged active set; returns ``(active, meta)``.
+
+        *rng* is the driver's stream: the trivial path hands it to the
+        solver exactly as the unsharded driver would (bit-identity), the
+        sharded path draws one child seed per live cell from it.  *rec* is
+        the driver's recorder; *context*/*unread* are the driver-level
+        incremental context and unread mask, consumed only by the trivial
+        path (cells carry their own).
+        """
+        if self.partition.is_trivial:
+            system = self.partition.system
+            if takes_context and context is not None:
+                result = solver(system, unread, rng, context=context)
+            else:
+                result = solver(system, unread, rng)
+            return np.asarray(result.active, dtype=np.int64), dict(result.meta)
+
+        live = self.live_cells()
+        # one child seed per live cell, from the driver's stream — worker
+        # count never touches the rng, so parallelism cannot change results
+        seeds = rng.integers(0, 2 ** 63 - 1, size=len(live))
+        self._solver = solver
+        self._takes_context = takes_context
+        self._collect = bool(rec.enabled)
+        try:
+            outputs = fork_map(
+                self._solve_cell,
+                [(idx, int(seed)) for idx, seed in zip(live, seeds)],
+                self.partition.spec.workers,
+            )
+        finally:
+            self._solver = None
+
+        parts: List[np.ndarray] = []
+        halo_total = 0
+        for idx, (active_global, events) in zip(live, outputs):
+            cell = self.partition.cells[idx]
+            halo_total += int(len(cell.halo_reader_ids))
+            parts.append(active_global)
+            if rec.enabled:
+                with span(
+                    "shard.solve",
+                    slot=slot,
+                    cell=idx,
+                    readers=int(len(cell.all_reader_ids)),
+                    halo=int(len(cell.halo_reader_ids)),
+                ):
+                    for event in events:
+                        rec.emit(event)
+
+        merged = (
+            np.sort(np.concatenate(parts))
+            if parts
+            else np.empty(0, dtype=np.int64)
+        )
+        with span("shard.merge", slot=slot, cells=len(live)):
+            active, repairs = self._reconcile(merged)
+        if rec.enabled:
+            rec.emit(
+                ShardMerge(
+                    slot=slot,
+                    cells_solved=len(live),
+                    halo_readers=halo_total,
+                    boundary_repairs=repairs,
+                    active_readers=int(len(active)),
+                )
+            )
+        meta = {
+            "solver": "shard",
+            "cells_solved": len(live),
+            "boundary_repairs": repairs,
+        }
+        return active, meta
+
+    # ------------------------------------------------------------------
+    def _solve_cell(self, payload: Tuple[int, int]):
+        """Worker body: solve one cell with its own seeded rng.
+
+        Runs in a forked worker under ``fork_map`` (or inline when serial).
+        Returns ``(owned active readers as global ids, captured non-span
+        events)`` — only picklable values cross the process boundary.
+        """
+        idx, seed = payload
+        cell = self.partition.cells[idx]
+        ctx = self._contexts[idx]
+        local_rng = as_rng(seed)
+        kwargs = {}
+        if self._takes_context and self.incremental:
+            kwargs["context"] = ctx
+        if self._collect:
+            with recording(TraceRecorder()) as local:
+                result = self._solver(
+                    cell.subsystem, ctx.unread, local_rng, **kwargs
+                )
+            events = [
+                e
+                for e in local.events
+                if not isinstance(e, (SpanStart, SpanEnd))
+            ]
+        else:
+            result = self._solver(
+                cell.subsystem, ctx.unread, local_rng, **kwargs
+            )
+            events = []
+        active_local = np.asarray(result.active, dtype=np.int64)
+        owned = active_local[cell.owned_reader_mask[active_local]]
+        return cell.all_reader_ids[owned], events
+
+    # ------------------------------------------------------------------
+    def _owner_counts(self, readers: np.ndarray) -> np.ndarray:
+        """Each reader's remaining covered-unread count in its owner cell."""
+        vals = np.empty(len(readers), dtype=np.int64)
+        for i, g in enumerate(readers):
+            c = int(self.partition.cell_of_reader[g])
+            cell = self.partition.cells[c]
+            loc = int(np.searchsorted(cell.all_reader_ids, g))
+            vals[i] = self._contexts[c].remaining_counts[loc]
+        return vals
+
+    def _reconcile(self, active: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Drop readers until the merged set has no cross-cell conflict.
+
+        Intra-cell pairs are the cell solver's responsibility and are never
+        touched.  Among readers in a surviving cross-cell conflict, the one
+        with the smallest owner-cell remaining count is dropped (ties to
+        the highest global id — keep the longest-serving candidates), and
+        the pass repeats until clean.  Deterministic: pure function of the
+        merged set and the cells' unread state.
+        """
+        k = int(len(active))
+        if k <= 1:
+            return active, 0
+        pos = self.partition.reader_positions[active]
+        R = self.partition.interference_radii[active]
+        owner = self.partition.cell_of_reader[active]
+        diff = pos[:, None, :] - pos[None, :, :]
+        d2 = (diff * diff).sum(axis=-1)
+        rmax = np.maximum(R[:, None], R[None, :])
+        cross = (d2 <= rmax * rmax) & (owner[:, None] != owner[None, :])
+        if not cross.any():
+            return active, 0
+        vals = self._owner_counts(active)
+        live = np.ones(k, dtype=bool)
+        repairs = 0
+        while True:
+            conflicted = (cross & live[None, :]).any(axis=1) & live
+            if not conflicted.any():
+                break
+            cand = np.flatnonzero(conflicted)
+            v = vals[cand]
+            # min value loses; tie -> drop the highest global id (active is
+            # sorted ascending, so the last minimum is the highest id)
+            drop = cand[np.flatnonzero(v == v.min())[-1]]
+            live[drop] = False
+            repairs += 1
+        return active[live], repairs
+
+    # ------------------------------------------------------------------
+    def retire(self, confirmed: np.ndarray) -> None:
+        """Mark the slot's confirmed-read tags retired in their owner cells.
+
+        A tag is unread only in its owner cell (halo tags start read
+        locally), so confirmed tags are bucketed by owner and each owner
+        context retires its own — one searchsorted per live owner cell, not
+        per cell over the whole confirmed set.  No-op on trivial runtimes
+        (the driver's own state is authoritative there).
+        """
+        if self._contexts is None:
+            return
+        tags = np.asarray(confirmed, dtype=np.int64).ravel()
+        if tags.size == 0:
+            return
+        owners = self.partition.owner_of_tag[tags]
+        keep = owners >= 0
+        tags, owners = tags[keep], owners[keep]
+        if tags.size == 0:
+            return
+        order = np.argsort(owners, kind="stable")
+        tags, owners = tags[order], owners[order]
+        groups, starts = np.unique(owners, return_index=True)
+        bounds = np.append(starts, len(tags))
+        for c, s, e in zip(groups, bounds[:-1], bounds[1:]):
+            cell = self.partition.cells[int(c)]
+            local = np.searchsorted(cell.tag_ids, tags[s:e])
+            self._contexts[int(c)].retire_tags(local)
+
+    # ------------------------------------------------------------------
+    def best_singleton(self) -> Optional[int]:
+        """The owned reader covering the most unread tags across all cells
+        (ties to the lowest global id), or ``None`` when nothing remains.
+
+        Positive-progress guarantee: an unread tag's owner cell owns its
+        lowest-id covering reader, so some owned reader always has a
+        positive count while unread tags remain — and a lone active reader
+        is always operational.
+        """
+        if self._contexts is None:
+            raise RuntimeError("trivial runtime does not track unread tags")
+        best: Optional[Tuple[int, int]] = None
+        for cell, ctx in zip(self.partition.cells, self._contexts):
+            if ctx.num_unread == 0:
+                continue
+            counts = np.where(cell.owned_reader_mask, ctx.remaining_counts, 0)
+            if counts.size == 0:
+                continue
+            cmax = int(counts.max())
+            if cmax <= 0:
+                continue
+            gid = int(cell.all_reader_ids[int(np.argmax(counts == cmax))])
+            if best is None or (-cmax, gid) < (-best[0], best[1]):
+                best = (cmax, gid)
+        return None if best is None else best[1]

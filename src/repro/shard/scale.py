@@ -1,0 +1,289 @@
+"""Array-first covering-schedule driver for paper-overflowing deployments.
+
+The MCS driver (:func:`repro.core.mcs.greedy_covering_schedule`) builds a
+full :class:`~repro.model.system.RFIDSystem` — dense coverage and conflict
+matrices — which is the right tool up to a few thousand readers.  The
+10⁴-reader / 10⁶-tag scale tier cannot afford ``n × n`` and ``m × n`` dense
+global state, so :func:`run_scale_schedule` runs the same greedy loop
+*sparsely*:
+
+* the deployment is partitioned by :class:`~repro.shard.partition.
+  ShardPartition` straight from coordinate/radius arrays — only the
+  per-cell subsystems are ever materialised densely, and each is small by
+  the interaction-radius sizing rule;
+* each slot's active set comes from :class:`~repro.shard.runtime.
+  ShardRuntime` (cell solves plus boundary reconciliation), exactly as in
+  the sharded MCS driver;
+* the global well-covered verification (Definition 1) is computed sparsely:
+  per-active-reader tag lookups through a
+  :class:`~repro.geometry.grid.SpatialHashGrid` give exact coverage counts,
+  and RTc suppression is a dense check only over the *active* readers;
+* retirement updates the per-cell contexts through
+  :meth:`~repro.shard.runtime.ShardRuntime.retire` — one searchsorted per
+  live owner cell, never a scan of the 10⁶-tag population per cell.
+
+The loop emits the standard driver events (``SlotStart`` / ``SlotEnd`` /
+``CollisionTally`` / ``ScheduleDone``), so a
+:class:`~repro.obs.collectors.RunCollector` aggregates a scale run exactly
+like an MCS run and ``BENCH_scale.json`` records validate against the
+ordinary schema (family ``scale``).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.deployment.generators import uniform_deployment
+from repro.deployment.radii import sample_radii
+from repro.geometry.grid import SpatialHashGrid
+from repro.obs.events import (
+    CollisionTally,
+    ScheduleDone,
+    SlotEnd,
+    SlotStart,
+    get_recorder,
+)
+from repro.shard.partition import ShardPartition
+from repro.shard.runtime import ShardRuntime
+from repro.shard.spec import ShardSpec
+from repro.util.rng import RngLike, as_rng
+
+
+@dataclass(frozen=True)
+class ScaleDeployment:
+    """Parameters of a pinned-seed uniform scale deployment.
+
+    Mirrors :class:`~repro.deployment.scenario.Scenario`'s fields but
+    materialises raw arrays instead of an :class:`~repro.model.system.
+    RFIDSystem` — the scale tier never builds the global dense matrices.
+    """
+
+    num_readers: int
+    num_tags: int
+    side: float
+    lambda_interference: float = 10.0
+    lambda_interrogation: float = 5.0
+    seed: int = 0
+
+    def materialize(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Draw the deployment: ``(reader_positions, interference_radii,
+        interrogation_radii, tag_positions)``.  One seeded stream drives
+        positions then radii, so equal parameters give equal arrays."""
+        rng = as_rng(self.seed)
+        placement = uniform_deployment(
+            self.num_readers, self.num_tags, side=self.side, seed=rng
+        )
+        interference, interrogation = sample_radii(
+            self.num_readers,
+            self.lambda_interference,
+            self.lambda_interrogation,
+            seed=rng,
+        )
+        return (
+            placement.reader_positions,
+            interference,
+            interrogation,
+            placement.tag_positions,
+        )
+
+
+@dataclass(frozen=True)
+class ScaleSlotRecord:
+    """One slot of a scale schedule (ids elided — at 10⁶ tags the schedule
+    history keeps counts, not per-tag arrays)."""
+
+    slot: int
+    active_readers: int
+    tags_read: int
+    cells_solved: int
+    boundary_repairs: int
+
+
+@dataclass(frozen=True)
+class ScaleScheduleResult:
+    """Outcome of :func:`run_scale_schedule`."""
+
+    slots: List[ScaleSlotRecord]
+    tags_read_total: int
+    complete: bool
+    num_cells: int
+    uncoverable_tags: int
+
+    @property
+    def size(self) -> int:
+        """Number of time-slots executed."""
+        return len(self.slots)
+
+
+def _slot_verification(
+    active: np.ndarray,
+    reader_positions: np.ndarray,
+    interference_radii: np.ndarray,
+    interrogation_radii: np.ndarray,
+    tag_grid: SpatialHashGrid,
+    unread: np.ndarray,
+    counts: np.ndarray,
+    owner: np.ndarray,
+) -> Tuple[np.ndarray, int, int]:
+    """Exact well-covered tags of *active* (Definition 1), sparsely.
+
+    Uses per-active-reader grid lookups for coverage and a dense directed
+    RTc check over just the active set.  *counts*/*owner* are reusable
+    scratch arrays over the tag population; returns ``(well_covered_tags,
+    rrc_blocked, rtc_silenced)``.
+    """
+    k = int(len(active))
+    empty = np.empty(0, dtype=np.int64)
+    if k == 0:
+        return empty, 0, 0
+    pos = reader_positions[active]
+    diff = pos[:, None, :] - pos[None, :, :]
+    d2 = (diff * diff).sum(axis=-1)
+    in_range = d2 <= interference_radii[active][None, :] ** 2
+    np.fill_diagonal(in_range, False)
+    suffering = in_range.any(axis=1)
+
+    touched_parts: List[np.ndarray] = []
+    for i, a in enumerate(active):
+        hits = tag_grid.query_radius(
+            reader_positions[a], float(interrogation_radii[a])
+        )
+        if hits.size:
+            counts[hits] += 1
+            owner[hits] = i  # local index into the active set
+            touched_parts.append(hits)
+    if not touched_parts:
+        return empty, 0, int(suffering.sum())
+    touched = np.unique(np.concatenate(touched_parts))
+    t_counts = counts[touched]
+    t_unread = unread[touched]
+    once = t_unread & (t_counts == 1)
+    well = touched[once & ~suffering[owner[touched]]]
+    rrc = int((t_unread & (t_counts >= 2)).sum())
+    counts[touched] = 0  # reset scratch for the next slot
+    return well, rrc, int(suffering.sum())
+
+
+def run_scale_schedule(
+    deployment: ScaleDeployment,
+    spec: ShardSpec,
+    solver: str = "ghc",
+    seed: RngLike = None,
+    max_slots: Optional[int] = None,
+    workers_hint: Optional[int] = None,
+) -> ScaleScheduleResult:
+    """Run the sparse greedy covering schedule over a scale deployment.
+
+    *solver* is a registry name resolved via
+    :func:`repro.core.oneshot.get_solver` and applied per cell.  *spec*
+    must yield a non-trivial partition — a deployment that collapses to
+    one cell belongs in :func:`repro.core.mcs.greedy_covering_schedule`,
+    which this function refuses to duplicate.  *workers_hint* overrides
+    ``spec.workers`` without rebuilding the spec (CLI convenience).
+
+    Termination mirrors the MCS driver: a slot that would read nothing
+    activates the best owned singleton
+    (:meth:`~repro.shard.runtime.ShardRuntime.best_singleton`), which
+    always makes positive progress, so the loop ends at full coverage or
+    the ``max_slots`` cap (default ``4·n + 64``).
+    """
+    from repro.core.oneshot import get_solver  # deferred: core imports shard
+
+    rpos, interference, interrogation, tpos = deployment.materialize()
+    if workers_hint is not None:
+        spec = ShardSpec(
+            cells=spec.cells, workers=workers_hint, halo_scale=spec.halo_scale
+        )
+    partition = ShardPartition.from_arrays(
+        rpos, interference, interrogation, tpos, spec
+    )
+    if partition.is_trivial:
+        raise ValueError(
+            "deployment collapses to a single cell; use "
+            "greedy_covering_schedule (optionally with shard=) instead"
+        )
+    runtime = ShardRuntime(partition, incremental=True)
+    solver_fn = get_solver(solver)
+    takes_context = "context" in inspect.signature(solver_fn).parameters
+    rng = as_rng(seed)
+    rec = get_recorder()
+
+    m = len(tpos)
+    coverable = partition.owner_of_tag >= 0
+    unread = coverable.copy()
+    counts = np.zeros(m, dtype=np.int32)
+    owner = np.zeros(m, dtype=np.int64)
+    tag_grid = SpatialHashGrid(
+        tpos, cell_size=max(float(interrogation.max()), 1.0)
+    )
+    cap = (
+        max_slots if max_slots is not None else 4 * deployment.num_readers + 64
+    )
+
+    slots: List[ScaleSlotRecord] = []
+    total_read = 0
+    while runtime.num_unread > 0 and len(slots) < cap:
+        slot = len(slots)
+        if rec.enabled:
+            rec.emit(SlotStart(slot=slot, unread_tags=runtime.num_unread))
+        active, meta = runtime.solve_slot(
+            slot, solver_fn, rng, rec, takes_context=takes_context
+        )
+        well, rrc, rtc = _slot_verification(
+            active, rpos, interference, interrogation,
+            tag_grid, unread, counts, owner,
+        )
+        if len(well) == 0:
+            fallback = runtime.best_singleton()
+            if fallback is None:  # pragma: no cover - num_unread > 0 above
+                break
+            active = np.asarray([fallback], dtype=np.int64)
+            well, rrc, rtc = _slot_verification(
+                active, rpos, interference, interrogation,
+                tag_grid, unread, counts, owner,
+            )
+        if rec.enabled:
+            rec.emit(
+                CollisionTally(slot=slot, rrc_blocked=rrc, rtc_silenced=rtc)
+            )
+        runtime.retire(well)
+        unread[well] = False
+        total_read += int(len(well))
+        if rec.enabled:
+            rec.emit(
+                SlotEnd(
+                    slot=slot,
+                    tags_read=int(len(well)),
+                    weight=int(len(well)),
+                    active_readers=int(len(active)),
+                )
+            )
+        slots.append(
+            ScaleSlotRecord(
+                slot=slot,
+                active_readers=int(len(active)),
+                tags_read=int(len(well)),
+                cells_solved=int(meta.get("cells_solved", 0)),
+                boundary_repairs=int(meta.get("boundary_repairs", 0)),
+            )
+        )
+    complete = not bool(unread.any())
+    if rec.enabled:
+        rec.emit(
+            ScheduleDone(
+                slots=len(slots), tags_read=total_read, complete=complete
+            )
+        )
+    return ScaleScheduleResult(
+        slots=slots,
+        tags_read_total=total_read,
+        complete=complete,
+        num_cells=partition.num_cells,
+        uncoverable_tags=int((~coverable).sum()),
+    )

@@ -1,0 +1,103 @@
+"""Sharding configuration and the interaction-radius cell-sizing rule.
+
+The spatial decomposition (``docs/scale.md``) rests on one geometric fact:
+two readers whose activation decisions can influence each other must be
+within the **interaction radius**
+
+.. math::
+
+    H \\;=\\; \\max_i \\max(R_i,\\; 2\\gamma_i)
+
+of each other — they conflict only if their distance is at most
+``max(R_i, R_j) <= R_max``, and they can cover a common tag (a potential
+reader–reader collision) only if their distance is at most
+``gamma_i + gamma_j <= 2*gamma_max``.  Likewise a reader can affect a tag
+only within ``gamma_max <= H``.  Choosing a square cell side of at least
+``H`` therefore guarantees that everything influencing a cell's owned
+readers and tags lives in the cell itself or its eight neighbours — the
+**one-ring halo** contract that :mod:`repro.shard.partition` relies on.
+
+This mirrors the locality theorem behind the paper's neighborhood solver
+(``docs/paper_mapping.md``): a reader's activation decision depends only on
+a bounded-radius ball around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+def interaction_radius(
+    interference_radii: np.ndarray, interrogation_radii: np.ndarray
+) -> float:
+    """The interaction radius ``H = max_i max(R_i, 2*gamma_i)``.
+
+    Any pair of readers further apart than ``H`` is independent
+    (Definition 2) *and* shares no coverable tag, so their activation
+    decisions cannot interact.  Returns ``0.0`` for an empty deployment.
+    """
+    R = np.asarray(interference_radii, dtype=np.float64)
+    gamma = np.asarray(interrogation_radii, dtype=np.float64)
+    if R.size == 0:
+        return 0.0
+    return float(max(R.max(), 2.0 * gamma.max()))
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Configuration of a sharded solve.
+
+    Parameters
+    ----------
+    cells:
+        Target number of spatial cells.  ``0`` (the default) auto-sizes the
+        grid at the finest safe granularity — cell side equal to the
+        interaction radius.  ``1`` requests the trivial partition, which
+        short-circuits to a direct full-system solve (bit-identical to the
+        unsharded driver; certified by ``tests/test_shard.py``).  Values
+        above 1 are a *target*: the actual side is clamped to at least the
+        interaction radius (scaled by ``halo_scale``), so the realised cell
+        count never exceeds what the one-ring halo contract allows.
+    workers:
+        Worker processes for concurrent cell solves, passed to
+        :func:`repro.perf.parallel.fork_map` (``None``/``0`` solves cells
+        serially; negative means CPU count).  Worker count never changes
+        results — cell solves are merged in deterministic cell order.
+    halo_scale:
+        Safety multiplier (``>= 1``) applied to the interaction radius when
+        sizing cells.  ``1.0`` is always sufficient; larger values trade
+        fewer, bigger cells for smaller halo fractions.
+    """
+
+    cells: int = 0
+    workers: Optional[int] = None
+    halo_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cells < 0:
+            raise ValueError(f"cells must be >= 0, got {self.cells}")
+        if not self.halo_scale >= 1.0:
+            raise ValueError(
+                f"halo_scale must be >= 1.0, got {self.halo_scale}"
+            )
+
+    def cell_side(
+        self,
+        interference_radii: np.ndarray,
+        interrogation_radii: np.ndarray,
+        extent: float,
+    ) -> float:
+        """The cell side length for a deployment of bounding-box area
+        ``extent**2``: the side implied by the ``cells`` target, clamped
+        from below to ``halo_scale * H`` so the one-ring halo contract
+        always holds."""
+        floor = self.halo_scale * interaction_radius(
+            interference_radii, interrogation_radii
+        )
+        if self.cells > 1 and extent > 0.0:
+            target = float(extent) / float(np.sqrt(self.cells))
+            return max(target, floor)
+        return floor

@@ -1,0 +1,230 @@
+"""Tests for the scale tier's sparse driver and benchmark matrix.
+
+``run_scale_schedule`` (the array-first driver that never builds global
+dense matrices) is checked against the sharded **and** unsharded MCS
+drivers on a deployment small enough to afford both; the ``scale_smoke``
+marker runs a reduced scale matrix end-to-end under both kernel backends
+and schema-validates the ``BENCH_scale.json`` records.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import get_solver, greedy_covering_schedule
+from repro.model.system import build_system
+from repro.obs.export import REQUIRED_METRICS, load_bench, validate_run
+from repro.shard import ScaleDeployment, ShardSpec, run_scale_schedule
+from repro.shard.bench import (
+    FULL_POINTS,
+    IDENT_POINTS,
+    QUICK_POINTS,
+    ScalePoint,
+    format_scale_table,
+    run_scale_matrix,
+    write_scale_files,
+)
+
+#: Small enough for the dense reference drivers, big enough to shard.
+SMALL = ScaleDeployment(num_readers=150, num_tags=2000, side=250.0, seed=17)
+
+
+def small_point(label, **overrides):
+    kw = dict(
+        solver="ghc", driver="mcs",
+        num_readers=40, num_tags=400, side=100.0,
+        lambda_interference=10.0, lambda_interrogation=5.0, seed=13,
+    )
+    kw.update(overrides)
+    return ScalePoint(label=label, **kw)
+
+
+#: The quick matrix, shrunk to CI size: the ident pair certifies the
+#: trivial sharded path, the sharded mcs and array points cover both
+#: drivers.  Same shape as ``QUICK_POINTS``/``FULL_POINTS``, ~100x smaller.
+SMOKE_POINTS = (
+    small_point("smoke_ident"),
+    small_point("smoke_ident", shard_cells=1),
+    small_point(
+        "smoke_shard",
+        num_readers=60, num_tags=600, side=200.0, seed=5, shard_cells=16,
+    ),
+    small_point(
+        "smoke_array", driver="array",
+        num_readers=SMALL.num_readers, num_tags=SMALL.num_tags,
+        side=SMALL.side, seed=SMALL.seed, shard_cells=0,
+    ),
+)
+
+
+class TestScaleDriver:
+    @pytest.fixture(scope="class")
+    def arrays(self):
+        return SMALL.materialize()
+
+    @pytest.fixture(scope="class")
+    def scale_result(self):
+        return run_scale_schedule(SMALL, ShardSpec(cells=0), seed=17)
+
+    def test_materialize_is_reproducible(self, arrays):
+        again = ScaleDeployment(
+            num_readers=150, num_tags=2000, side=250.0, seed=17
+        ).materialize()
+        for a, b in zip(arrays, again):
+            assert np.array_equal(a, b)
+
+    def test_matches_sharded_mcs_slot_for_slot(self, arrays, scale_result):
+        """Same partition, same seed, same solver -> the sparse driver and
+        the dense sharded MCS driver walk the same schedule."""
+        system = build_system(*arrays)
+        dense = greedy_covering_schedule(
+            system, get_solver("ghc"), seed=17, incremental=True,
+            shard=ShardSpec(cells=0),
+        )
+        assert scale_result.size == dense.size
+        assert scale_result.complete == dense.complete
+        assert scale_result.tags_read_total == dense.tags_read_total
+        assert scale_result.uncoverable_tags == len(dense.uncovered_tags)
+        for sparse_slot, dense_slot in zip(scale_result.slots, dense.slots):
+            assert sparse_slot.active_readers == len(dense_slot.active)
+            assert sparse_slot.tags_read == len(dense_slot.tags_read)
+
+    def test_matches_unsharded_coverage(self, arrays, scale_result):
+        system = build_system(*arrays)
+        base = greedy_covering_schedule(system, get_solver("ghc"), seed=17)
+        assert scale_result.complete == base.complete
+        assert scale_result.tags_read_total == base.tags_read_total
+        assert scale_result.uncoverable_tags == len(base.uncovered_tags)
+
+    def test_deterministic(self, scale_result):
+        again = run_scale_schedule(SMALL, ShardSpec(cells=0), seed=17)
+        assert again.slots == scale_result.slots
+        assert again.tags_read_total == scale_result.tags_read_total
+
+    def test_max_slots_cap(self):
+        capped = run_scale_schedule(
+            SMALL, ShardSpec(cells=0), seed=17, max_slots=2
+        )
+        assert capped.size == 2
+        assert not capped.complete
+
+    def test_trivial_deployment_rejected(self):
+        tiny = ScaleDeployment(num_readers=5, num_tags=20, side=5.0, seed=1)
+        with pytest.raises(ValueError):
+            run_scale_schedule(tiny, ShardSpec(cells=0))
+
+
+class TestMatrixDefinitions:
+    def test_ident_pair_shares_label_and_scenario(self):
+        a, b = IDENT_POINTS
+        assert a.label == b.label
+        assert a.shard_cells is None and b.shard_cells == 1
+        assert a.scenario_dict()["seed"] == b.scenario_dict()["seed"]
+
+    def test_full_matrix_extends_quick(self):
+        assert QUICK_POINTS == FULL_POINTS[: len(QUICK_POINTS)]
+        full = FULL_POINTS[-1]
+        assert full.driver == "array"
+        assert full.num_readers == 10_000 and full.num_tags == 1_000_000
+
+    def test_table_handles_empty(self):
+        assert "(no scale records)" in format_scale_table({"scale": []})
+
+
+@pytest.mark.scale_smoke
+@pytest.mark.parametrize("backend", ["numpy", "pure"])
+def test_scale_smoke_end_to_end(tmp_path, backend):
+    """Reduced scale matrix -> records -> BENCH_scale.json, both backends."""
+    records = run_scale_matrix(SMOKE_POINTS, backend=backend)
+    assert set(records) == {"scale"}
+    runs = records["scale"]
+    assert len(runs) == len(SMOKE_POINTS)
+    for run in runs:
+        validate_run(run)
+        assert run["bench"] == "scale"
+        assert run["backend"] == backend
+        for field in REQUIRED_METRICS["scale"]:
+            assert field in run["metrics"], field
+        # the scale family always measures memory
+        assert run["metrics"]["peak_tracemalloc_kb"] > 0.0
+        assert run["metrics"]["complete"]
+
+    # ident pair: identical work counters (the bit-identity certificate)
+    base, trivial = runs[0], runs[1]
+    noise = ("_s", "_by_name", "_kb")
+    strip = lambda m: {k: v for k, v in m.items() if not k.endswith(noise)}
+    assert strip(base["metrics"]) == strip(trivial["metrics"])
+
+    # sharded runs carry the shard work counters, unsharded do not
+    assert "shard_cells" not in base["metrics"]
+    assert runs[2]["metrics"]["shard_cells"] > 1
+    assert runs[3]["metrics"]["shard_cells"] > 1
+
+    path = write_scale_files(records, tmp_path)["scale"]
+    assert path == tmp_path / "BENCH_scale.json"
+    data = load_bench(path)
+    assert len(data["runs"]) == len(runs)
+    for run in data["runs"]:
+        validate_run(run)
+
+
+class TestCLI:
+    def test_solve_with_shard(self, capsys):
+        code = main([
+            "solve", "--readers", "40", "--tags", "300", "--side", "120",
+            "--seed", "3", "--schedule", "--shard-cells", "9",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "covering schedule" in out
+        assert "complete=True" in out
+
+    def test_shard_requires_schedule(self, capsys):
+        code = main([
+            "solve", "--readers", "10", "--tags", "50", "--shard-cells", "4",
+        ])
+        assert code == 2
+        assert "--shard-cells requires --schedule" in capsys.readouterr().err
+
+    def test_bench_scale_dry_run(self, tmp_path, monkeypatch, capsys):
+        """CLI wiring only — the matrix itself is monkeypatched (the real
+        quick points are minutes of work, covered by the smoke marker)."""
+        import repro.shard.bench as shard_bench
+
+        canned = run_scale_matrix(SMOKE_POINTS[:2])
+        seen = {}
+
+        def fake_matrix(points, backend=None):
+            seen["points"] = list(points)
+            return canned
+
+        monkeypatch.setattr(shard_bench, "run_scale_matrix", fake_matrix)
+        code = main([
+            "bench", "--scale", "--quick", "--dry-run",
+            "--shard-cells", "64", "--out-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scale matrix" in out
+        assert "smoke_ident" in out
+        assert not (tmp_path / "BENCH_scale.json").exists()
+        # --shard-cells rewrote the sharded points only
+        assert len(seen["points"]) == len(QUICK_POINTS)
+        for point in seen["points"]:
+            if point.shard_cells is not None:
+                assert point.shard_cells == 64
+
+    def test_bench_scale_writes_file(self, tmp_path, monkeypatch, capsys):
+        import repro.shard.bench as shard_bench
+
+        canned = run_scale_matrix(SMOKE_POINTS[:2])
+        monkeypatch.setattr(
+            shard_bench, "run_scale_matrix", lambda points, backend=None: canned
+        )
+        code = main([
+            "bench", "--scale", "--quick", "--out-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert "appended 2 scale runs" in capsys.readouterr().out
+        data = load_bench(tmp_path / "BENCH_scale.json")
+        assert len(data["runs"]) == 2

@@ -1,0 +1,405 @@
+"""Tests for the spatial sharding subsystem (``repro.shard``).
+
+Covers the three certificates of ``docs/scale.md``:
+
+* ``cells == 1`` is **bit-identical** to the unsharded driver — schedules
+  and all non-timing work counters;
+* non-trivial sharding is **coverage-equivalent** — same tags read, same
+  completeness — and its merged active sets never carry a cross-cell
+  conflict, including on hand-built adversarial boundary scenarios (reader
+  balls straddling two and four cells, tags exactly on cell edges);
+* worker count never changes results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import get_solver, greedy_covering_schedule
+from repro.deployment.scenario import Scenario
+from repro.obs.collectors import RunCollector
+from repro.obs.events import recording
+from repro.shard import (
+    ShardPartition,
+    ShardRuntime,
+    ShardSpec,
+    interaction_radius,
+)
+
+#: Metric fields that vary run to run by construction (wall-clock noise).
+TIMING = (
+    "solver_wall_clock_s",
+    "solver_seconds_by_name",
+    "stage_seconds_by_name",
+    "peak_tracemalloc_kb",
+    "peak_rss_kb",
+)
+
+
+def strip_timing(summary):
+    return {k: v for k, v in summary.items() if k not in TIMING}
+
+
+def run_collected(system, solver, **kwargs):
+    """Schedule *system* under a fresh collector; returns (result, summary)."""
+    collector = RunCollector()
+    with recording(collector):
+        result = greedy_covering_schedule(system, solver, **kwargs)
+    return result, collector.summary()
+
+
+def assert_same_schedule(a, b):
+    """Slot-for-slot bit identity of two ScheduleResults."""
+    assert a.size == b.size
+    for sa, sb in zip(a.slots, b.slots):
+        assert np.array_equal(sa.active, sb.active)
+        assert np.array_equal(sa.tags_read, sb.tags_read)
+    assert a.tags_read_total == b.tags_read_total
+    assert a.complete == b.complete
+    assert np.array_equal(a.uncovered_tags, b.uncovered_tags)
+
+
+@pytest.fixture(scope="module")
+def medium_system():
+    """Spread-out deployment that shards into a healthy number of cells."""
+    return Scenario(
+        num_readers=60, num_tags=600, side=200.0,
+        lambda_interference=10.0, lambda_interrogation=5.0, seed=5,
+    ).build()
+
+
+class TestSpec:
+    def test_interaction_radius(self):
+        R = np.array([3.0, 8.0, 2.0])
+        gamma = np.array([1.0, 2.0, 5.0])
+        assert interaction_radius(R, gamma) == 10.0  # 2 * gamma_max wins
+        assert interaction_radius(np.array([9.0]), np.array([1.0])) == 9.0
+        assert interaction_radius(np.empty(0), np.empty(0)) == 0.0
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ShardSpec(cells=-1)
+        with pytest.raises(ValueError):
+            ShardSpec(halo_scale=0.5)
+        # auto, trivial and explicit targets are all fine
+        ShardSpec(cells=0)
+        ShardSpec(cells=1)
+        ShardSpec(cells=16, workers=4)
+
+    def test_cell_side_clamped_to_interaction_radius(self):
+        spec = ShardSpec(cells=10_000)
+        R = np.array([6.0, 4.0])
+        gamma = np.array([2.0, 1.0])
+        # the target would want tiny cells; the clamp keeps side >= H
+        assert spec.cell_side(R, gamma, extent=100.0) == 6.0
+
+
+class TestPartitionInvariants:
+    @pytest.fixture(scope="class")
+    def partition(self, medium_system):
+        return ShardPartition.from_system(medium_system, ShardSpec(cells=16))
+
+    def test_nontrivial_and_indexed(self, partition):
+        assert not partition.is_trivial
+        assert partition.num_cells > 1
+        for i, cell in enumerate(partition.cells):
+            assert cell.index == i
+
+    def test_readers_partitioned(self, partition, medium_system):
+        seen = np.concatenate([c.reader_ids for c in partition.cells])
+        assert np.array_equal(np.sort(seen), np.arange(medium_system.num_readers))
+        for cell in partition.cells:
+            assert (partition.cell_of_reader[cell.reader_ids] == cell.index).all()
+
+    def test_local_global_maps_consistent(self, partition, medium_system):
+        for cell in partition.cells:
+            union = np.sort(
+                np.concatenate([cell.reader_ids, cell.halo_reader_ids])
+            )
+            assert np.array_equal(cell.all_reader_ids, union)
+            assert np.array_equal(
+                cell.subsystem.reader_positions,
+                medium_system.reader_positions[cell.all_reader_ids],
+            )
+            assert np.array_equal(
+                cell.subsystem.tag_positions,
+                medium_system.tag_positions[cell.tag_ids],
+            )
+            assert np.array_equal(
+                cell.all_reader_ids[cell.owned_reader_mask], cell.reader_ids
+            )
+
+    def test_owner_cell_can_cover_its_tags(self, partition, medium_system):
+        """Every coverable tag's owner cell owns a reader covering it —
+        the liveness guarantee behind ``best_singleton``."""
+        cov = medium_system.coverage  # (m, n) boolean: tags x readers
+        owner = partition.owner_of_tag
+        uncoverable = ~cov.any(axis=1)
+        assert (owner[uncoverable] == -1).all()
+        assert (owner[~uncoverable] >= 0).all()
+        for cell in partition.cells:
+            mine = np.flatnonzero(owner == cell.index)
+            assert cov[np.ix_(mine, cell.reader_ids)].any(axis=1).all()
+
+    def test_halos_cover_cross_cell_conflicts(self, partition, medium_system):
+        """If readers of different cells can conflict, each cell imports
+        the other's reader as halo (the one-ring contract)."""
+        pos = medium_system.reader_positions
+        R = medium_system.interference_radii
+        n = medium_system.num_readers
+        diff = pos[:, None, :] - pos[None, :, :]
+        d = np.sqrt((diff * diff).sum(axis=-1))
+        rmax = np.maximum(R[:, None], R[None, :])
+        owner = partition.cell_of_reader
+        for i in range(n):
+            for j in range(i + 1, n):
+                if d[i, j] <= rmax[i, j] and owner[i] != owner[j]:
+                    assert j in partition.cells[owner[i]].all_reader_ids
+                    assert i in partition.cells[owner[j]].all_reader_ids
+
+    def test_trivial_cases(self, medium_system):
+        one = ShardPartition.from_system(medium_system, ShardSpec(cells=1))
+        assert one.is_trivial
+        assert one.system is medium_system
+        # the whole deployment fits in one interaction radius -> one bucket
+        rpos = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.0]])
+        auto = ShardPartition.from_arrays(
+            rpos, np.full(3, 5.0), np.full(3, 2.0),
+            np.array([[1.0, 0.5]]), ShardSpec(cells=0),
+        )
+        assert auto.is_trivial
+        # no readers at all is trivial too
+        empty = ShardPartition.from_arrays(
+            np.empty((0, 2)), np.empty(0), np.empty(0),
+            np.empty((0, 2)), ShardSpec(cells=0),
+        )
+        assert empty.is_trivial
+
+
+class TestCellsOneBitIdentity:
+    """The trivial sharded path must be indistinguishable from no sharding."""
+
+    @pytest.fixture(scope="class")
+    def system(self):
+        return Scenario(
+            num_readers=40, num_tags=400, side=100.0, seed=13
+        ).build()
+
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_schedule_and_counters_identical(self, system, incremental):
+        base, base_sum = run_collected(
+            system, get_solver("ghc"), seed=3, incremental=incremental
+        )
+        shard, shard_sum = run_collected(
+            system, get_solver("ghc"), seed=3, incremental=incremental,
+            shard=ShardSpec(cells=1),
+        )
+        assert_same_schedule(base, shard)
+        assert strip_timing(base_sum) == strip_timing(shard_sum)
+
+    def test_trivial_records_no_shard_counters(self, system):
+        _, summary = run_collected(
+            system, get_solver("ghc"), seed=3, shard=ShardSpec(cells=1)
+        )
+        assert "shard_cells" not in summary
+
+
+class TestShardedEquivalence:
+    @pytest.fixture(scope="class")
+    def runs(self, medium_system):
+        solver = get_solver("ghc")
+        base, base_sum = run_collected(medium_system, solver, seed=9)
+        shard, shard_sum = run_collected(
+            medium_system, solver, seed=9, shard=ShardSpec(cells=16)
+        )
+        return base, base_sum, shard, shard_sum
+
+    def test_coverage_equivalent(self, runs):
+        base, _, shard, _ = runs
+        assert shard.complete == base.complete
+        assert shard.tags_read_total == base.tags_read_total
+        assert np.array_equal(shard.uncovered_tags, base.uncovered_tags)
+        # every coverable tag read exactly once overall
+        base_read = np.sort(np.concatenate([s.tags_read for s in base.slots]))
+        shard_read = np.sort(np.concatenate([s.tags_read for s in shard.slots]))
+        assert np.array_equal(shard_read, base_read)
+
+    def test_no_cross_cell_conflicts_survive(self, runs, medium_system):
+        _, _, shard, _ = runs
+        partition = ShardPartition.from_system(medium_system, ShardSpec(cells=16))
+        owner = partition.cell_of_reader
+        for slot in shard.slots:
+            act = slot.active
+            for a in range(len(act)):
+                for b in range(a + 1, len(act)):
+                    i, j = int(act[a]), int(act[b])
+                    if owner[i] != owner[j]:
+                        assert not medium_system.conflict[i, j]
+
+    def test_shard_counters_exported(self, runs):
+        _, base_sum, _, shard_sum = runs
+        assert "shard_cells" not in base_sum
+        assert shard_sum["shard_cells"] > 0
+        assert shard_sum["shard_halo_readers"] > 0
+        assert shard_sum["shard_boundary_repairs"] >= 0
+
+    def test_workers_do_not_change_results(self, medium_system):
+        solver = get_solver("ghc")
+        serial, serial_sum = run_collected(
+            medium_system, solver, seed=9,
+            shard=ShardSpec(cells=16, workers=1),
+        )
+        forked, forked_sum = run_collected(
+            medium_system, solver, seed=9,
+            shard=ShardSpec(cells=16, workers=3),
+        )
+        assert_same_schedule(serial, forked)
+        assert strip_timing(serial_sum) == strip_timing(forked_sum)
+
+    def test_shard_excludes_fault_injection(self, medium_system):
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.uniform_flaky(
+            medium_system.num_readers, p_fail=0.1, seed=1
+        )
+        with pytest.raises(ValueError):
+            greedy_covering_schedule(
+                medium_system, get_solver("ghc"), seed=0,
+                shard=ShardSpec(cells=16), faults=plan,
+            )
+
+
+def boundary_deployment():
+    """Hand-built adversarial boundary deployment.
+
+    ``R = 4``, ``gamma = 2`` for all readers gives interaction radius
+    ``H = 4``; with ``ShardSpec(cells=0)`` the grid side is exactly 4 and
+    the origin is pinned at (0, 0) by reader 0.  The deployment then
+    exercises every boundary case the merge pass must survive:
+
+    * reader 1 at (3.5, 2): its interrogation ball straddles the cells
+      keyed (0, 0) and (1, 0);
+    * reader 4 at (3.8, 3.8): its ball straddles all four cells around the
+      grid corner (4, 4);
+    * readers 1/2 and 4/5 are cross-cell conflicting pairs;
+    * tags sit exactly ON cell edges ((4, 2), (8, 2)) and the corner
+      (4, 4), where ``floor`` tips them into the neighbouring bucket —
+      (8, 2) additionally sits exactly at its only reader's interrogation
+      radius.
+    """
+    rpos = np.array([
+        [0.0, 0.0],    # 0: pins the origin, cell (0,0)
+        [3.5, 2.0],    # 1: straddles the x=4 edge, cell (0,0)
+        [4.5, 2.0],    # 2: cell (1,0) — conflicts with 1 across the edge
+        [10.0, 2.0],   # 3: interior of cell (2,0)
+        [3.8, 3.8],    # 4: straddles the 4-cell corner (4,4), cell (0,0)
+        [4.2, 4.2],    # 5: cell (1,1) — conflicts with 4 across the corner
+        [10.0, 10.0],  # 6: interior of cell (2,2)
+    ])
+    n = len(rpos)
+    R = np.full(n, 4.0)
+    gamma = np.full(n, 2.0)
+    tpos = np.array([
+        [4.0, 2.0],    # exactly on the x=4 edge, between readers 1 and 2
+        [4.0, 4.0],    # exactly on the 4-cell corner
+        [8.0, 2.0],    # on the x=8 edge, exactly at reader 3's radius
+        [2.0, 2.0],    # interior, covered by reader 1 only
+        [10.5, 2.0],   # interior of cell (2,0)
+        [9.5, 10.0],   # interior of cell (2,2)
+        [0.5, 0.5],    # near origin, covered by reader 0 only
+        [50.0, 50.0],  # uncoverable
+    ])
+    return rpos, R, gamma, tpos
+
+
+class TestBoundaryScenarios:
+    @pytest.fixture(scope="class")
+    def built(self):
+        from repro.model.system import build_system
+
+        rpos, R, gamma, tpos = boundary_deployment()
+        system = build_system(rpos, R, gamma, tpos)
+        partition = ShardPartition.from_arrays(
+            rpos, R, gamma, tpos, ShardSpec(cells=0), system=system
+        )
+        return system, partition
+
+    def test_partition_shape(self, built):
+        system, partition = built
+        assert not partition.is_trivial
+        assert partition.cell_side == 4.0
+        # straddling readers stay owned by the cell containing their centre
+        assert partition.cell_of_reader[1] == partition.cell_of_reader[0]
+        assert partition.cell_of_reader[4] == partition.cell_of_reader[0]
+        assert partition.cell_of_reader[2] != partition.cell_of_reader[1]
+        assert partition.cell_of_reader[5] != partition.cell_of_reader[4]
+
+    def test_edge_tags_owned_by_lowest_covering_reader(self, built):
+        system, partition = built
+        owner = partition.owner_of_tag
+        # tag 0 on the x=4 edge: covered by readers 1 and 2, owner = cell(1)
+        assert owner[0] == partition.cell_of_reader[1]
+        # tag 1 on the corner: covered by readers 4 and 5, owner = cell(4)
+        assert owner[1] == partition.cell_of_reader[4]
+        # the uncoverable tag is unowned
+        assert owner[7] == -1
+        # ownership always implies the owner cell covers the tag
+        cov = system.coverage  # (m, n)
+        for t in range(system.num_tags - 1):
+            cell = partition.cells[owner[t]]
+            assert cov[t, cell.reader_ids].any()
+
+    def test_straddling_balls_imported_as_halo(self, built):
+        _, partition = built
+        c1 = partition.cell_of_reader[1]
+        c2 = partition.cell_of_reader[2]
+        assert 2 in partition.cells[c1].all_reader_ids
+        assert 1 in partition.cells[c2].all_reader_ids
+        # the corner reader is halo in its diagonal neighbour
+        c5 = partition.cell_of_reader[5]
+        assert 4 in partition.cells[c5].all_reader_ids
+
+    def test_schedule_matches_unsharded_coverage(self, built):
+        system, _ = built
+        solver = get_solver("ghc")
+        base = greedy_covering_schedule(system, solver, seed=2)
+        shard = greedy_covering_schedule(
+            system, solver, seed=2, shard=ShardSpec(cells=0)
+        )
+        assert shard.complete and base.complete
+        assert shard.tags_read_total == base.tags_read_total == 7
+        assert np.array_equal(shard.uncovered_tags, base.uncovered_tags)
+
+
+class TestRuntime:
+    def test_retire_advances_unread_counts(self, medium_system):
+        partition = ShardPartition.from_system(medium_system, ShardSpec(cells=16))
+        runtime = ShardRuntime(partition, incremental=True)
+        before = runtime.num_unread
+        coverable = np.flatnonzero(partition.owner_of_tag >= 0)
+        confirmed = coverable[: min(25, len(coverable))]
+        runtime.retire(confirmed)
+        assert runtime.num_unread == before - len(confirmed)
+        # retiring again is idempotent
+        runtime.retire(confirmed)
+        assert runtime.num_unread == before - len(confirmed)
+
+    def test_best_singleton_is_max_coverage_owned_reader(self, medium_system):
+        partition = ShardPartition.from_system(medium_system, ShardSpec(cells=16))
+        runtime = ShardRuntime(partition, incremental=True)
+        best = runtime.best_singleton()
+        cov = medium_system.coverage  # (m, n)
+        coverable = partition.owner_of_tag >= 0
+        counts = cov[coverable].sum(axis=0)
+        assert counts[best] == counts.max()
+        # ties break to the lowest global id
+        assert best == int(np.argmax(counts == counts.max()))
+
+    def test_trivial_runtime_guards(self, medium_system):
+        runtime = ShardRuntime(
+            ShardPartition.from_system(medium_system, ShardSpec(cells=1))
+        )
+        with pytest.raises(RuntimeError):
+            runtime.num_unread
+        with pytest.raises(RuntimeError):
+            runtime.live_cells()
+        runtime.retire(np.array([0, 1]))  # no-op, must not raise
