@@ -32,6 +32,11 @@ the ``REPRO_BACKEND`` environment variable overrides ``auto`` — see
 ``docs/backends.md``).  Backends are bit-identical: the flag changes
 wall-clock, never schedules or counters.
 
+Every ``--workers`` flag (``solve``, ``bench``, ``chaos``) defaults to the
+``REPRO_WORKERS`` environment variable when omitted — precedence CLI >
+env > serial (see ``docs/performance.md``).  Worker counts never change
+results.
+
 ``trace run`` executes one covering schedule under span tracing and writes
 a Chrome trace-event JSON (openable in Perfetto / ``chrome://tracing``);
 ``trace convert`` turns a streamed JSONL event log into the same format.
@@ -50,6 +55,7 @@ from repro.deployment.scenario import Scenario
 from repro.experiments.figures import FIGURE_DEFAULTS, SOLVER_KWARGS, run_figure
 from repro.experiments.reporting import format_series_table
 from repro.perf.backends import resolve_backend, use_backend
+from repro.perf.parallel import env_default_workers
 from repro.shard.spec import ShardSpec
 
 
@@ -107,7 +113,8 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="with --shard-cells: solve cells on N forked processes "
-        "(-1 = CPU count); never changes results",
+        "(-1 = CPU count; default: env REPRO_WORKERS, else serial); "
+        "never changes results",
     )
 
     figure = sub.add_parser("figure", help="regenerate an evaluation figure")
@@ -189,8 +196,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="run bench jobs on N forked processes (-1 = CPU count); "
-        "work counters are identical to a serial run",
+        help="run bench jobs on N forked processes (-1 = CPU count; "
+        "default: env REPRO_WORKERS, else serial); work counters are "
+        "identical to a serial run",
     )
     bench.add_argument(
         "--incremental",
@@ -224,6 +232,22 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         dest="shard_cells",
         help="with --scale: override the sharded points' target cell count",
+    )
+    bench.add_argument(
+        "--no-pool",
+        action="store_true",
+        dest="no_pool",
+        help="with --scale: solve sharded points through the legacy "
+        "per-slot fork_map instead of the persistent worker pool (A/B "
+        "leg for the amortised spawn cost; results identical)",
+    )
+    bench.add_argument(
+        "--points",
+        nargs="+",
+        default=None,
+        metavar="LABEL",
+        help="with --scale: run only the points with these labels "
+        "(e.g. s_ident_r120t1500 for a cheap identity-pair append)",
     )
     bench.add_argument(
         "--memory",
@@ -261,6 +285,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "by --seed)",
     )
     chaos.add_argument("--max-slots", type=int, default=2048, dest="max_slots")
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run each solver's fault grid on N pooled worker processes "
+        "(-1 = CPU count; default: env REPRO_WORKERS, else serial); "
+        "records are identical to a serial run",
+    )
     chaos.add_argument(
         "--out-dir", default=".", help="directory receiving BENCH_chaos.json"
     )
@@ -430,7 +462,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         else:
             shard = None
             if args.shard_cells is not None:
-                shard = ShardSpec(cells=args.shard_cells, workers=args.workers)
+                shard = ShardSpec(
+                    cells=args.shard_cells,
+                    workers=env_default_workers(args.workers),
+                )
             solver = get_solver(args.solver, **SOLVER_KWARGS.get(args.solver, {}))
             with use_backend(backend):
                 result = greedy_covering_schedule(
@@ -556,6 +591,23 @@ def _cmd_bench_scale(args: argparse.Namespace) -> int:
     )
 
     points = list(QUICK_POINTS if args.quick else FULL_POINTS)
+    if args.points is not None:
+        wanted = set(args.points)
+        points = [p for p in points if p.label in wanted]
+        missing = wanted - {p.label for p in points}
+        if missing:
+            print(
+                f"error: unknown scale point labels: {sorted(missing)}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.no_pool:
+        points = [
+            dataclasses.replace(p, use_pool=False)
+            if p.shard_cells is not None
+            else p
+            for p in points
+        ]
     if args.shard_cells is not None:
         points = [
             dataclasses.replace(p, shard_cells=args.shard_cells)
@@ -595,8 +647,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench_files,
     )
 
+    # CLI > REPRO_WORKERS env > serial, for the plain and scale matrices
+    args.workers = env_default_workers(args.workers)
     if args.scale:
         return _cmd_bench_scale(args)
+    if args.points is not None or args.no_pool:
+        print(
+            "error: --points/--no-pool require --scale", file=sys.stderr
+        )
+        return 2
     matrix = QUICK_MATRIX if args.quick else FULL_MATRIX
     families = "mcs only, +inc labels" if args.incremental else "oneshot + mcs"
     print(
@@ -652,6 +711,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         scenario_kwargs=scenario_kwargs,
         fault_seed=args.fault_seed,
         max_slots=args.max_slots,
+        workers=env_default_workers(args.workers),
     )
     print(format_chaos_table(records))
     if args.dry_run:

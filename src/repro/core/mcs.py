@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import inspect
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional, Tuple
@@ -509,7 +510,14 @@ def greedy_covering_schedule(
     total_read = 0
     stall_run = 0
     outcome: Optional[ScheduleOutcome] = None
-    with span(
+    # one persistent worker pool for every slot of a sharded run (no-op for
+    # serial/trivial/pool-disabled specs; see ShardRuntime.pool_scope)
+    pool_cm = (
+        shard_rt.pool_scope(solver, solver_takes_context, rec)
+        if shard_rt is not None
+        else nullcontext()
+    )
+    with pool_cm, span(
         "mcs.run",
         solver=getattr(solver, "__name__", "solver"),
         faults=fault_rt is not None,

@@ -30,6 +30,7 @@ from repro.faults import FaultPlan
 from repro.obs.collectors import RunCollector
 from repro.obs.events import recording
 from repro.obs.export import merge_run, run_record
+from repro.perf.pool import WorkerPool
 
 PathLike = Union[str, Path]
 
@@ -81,6 +82,7 @@ def run_chaos_sweep(
     scenario_kwargs: Optional[dict] = None,
     fault_seed: int = 97,
     max_slots: int = 2048,
+    workers: Optional[int] = None,
 ) -> List[dict]:
     """Run the failure-rate × miss-rate grid for each solver; returns
     schema-valid ``bench="chaos"`` run records.
@@ -90,36 +92,65 @@ def run_chaos_sweep(
     ``slowdown`` in that solver's group; the fault worlds are pinned by
     *fault_seed*, so equal arguments reproduce equal records (up to
     wall-clock).
+
+    ``workers > 1`` runs each solver's grid points on one persistent
+    :class:`~repro.perf.pool.WorkerPool` shared across all solvers (the
+    baselines stay serial — they anchor every slowdown and are one point
+    each).  Every point runs its own collector inside the worker and the
+    records are assembled in grid order in the parent, so worker count
+    never changes the records (up to wall-clock).
     """
     from repro.deployment.scenario import Scenario
 
     scenario = Scenario(**(scenario_kwargs or DEFAULT_SCENARIO))
     system = scenario.build()
     coverable = int(system.covered_by_any().sum())
+    pairs = [(f, m) for f in fail_rates for m in miss_rates]
+
+    def _make_grid_fn(solver_name: str):
+        def run_grid_point(pair):
+            fail_rate, miss_rate = pair
+            plan = FaultPlan.uniform_flaky(
+                system.num_readers,
+                fail_rate,
+                miss_rate=miss_rate,
+                seed=fault_seed,
+            )
+            result, metrics, wall = _run_point(
+                system, solver_name, scenario.seed, plan, max_slots
+            )
+            # only picklable scalars cross the worker boundary
+            return (
+                int(result.size),
+                bool(result.complete),
+                result.outcome.value,
+                int(result.tags_read_total),
+                metrics,
+                wall,
+            )
+
+        return run_grid_point
+
+    grid_fns = {name: _make_grid_fn(name) for name in solvers}
     records: List[dict] = []
-    for solver_name in solvers:
-        baseline, _, _ = _run_point(
-            system, solver_name, scenario.seed, None, max_slots
-        )
-        baseline_slots = max(1, baseline.size)
-        for fail_rate in fail_rates:
-            for miss_rate in miss_rates:
-                plan = FaultPlan.uniform_flaky(
-                    system.num_readers,
-                    fail_rate,
-                    miss_rate=miss_rate,
-                    seed=fault_seed,
-                )
-                result, metrics, wall = _run_point(
-                    system, solver_name, scenario.seed, plan, max_slots
-                )
-                metrics["slots_to_completion"] = int(result.size)
-                metrics["complete"] = bool(result.complete)
-                metrics["outcome"] = result.outcome.value
+    with WorkerPool(workers) as pool:
+        for fn in grid_fns.values():
+            pool.register(fn)  # before the first map: closures must fork
+        for solver_name in solvers:
+            baseline, _, _ = _run_point(
+                system, solver_name, scenario.seed, None, max_slots
+            )
+            baseline_slots = max(1, baseline.size)
+            outputs = pool.map(grid_fns[solver_name], pairs)
+            for (fail_rate, miss_rate), out in zip(pairs, outputs):
+                size, complete, outcome, tags_read, metrics, wall = out
+                metrics["slots_to_completion"] = size
+                metrics["complete"] = complete
+                metrics["outcome"] = outcome
                 metrics["coverage_fraction"] = (
-                    result.tags_read_total / coverable if coverable else 1.0
+                    tags_read / coverable if coverable else 1.0
                 )
-                metrics["slowdown"] = result.size / baseline_slots
+                metrics["slowdown"] = size / baseline_slots
                 metrics["fault_fail_rate"] = float(fail_rate)
                 metrics["fault_miss_rate"] = float(miss_rate)
                 records.append(

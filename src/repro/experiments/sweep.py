@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.experiments.metrics import SeriesStats, aggregate
 from repro.obs.events import SweepPoint, get_recorder
 from repro.obs.spans import span
-from repro.perf.parallel import fork_map
+from repro.perf.pool import WorkerPool
 
 Measure = Callable[[float, int], Mapping[str, float]]
 
@@ -56,6 +56,7 @@ def run_sweep(
     measure: Measure,
     seeds: Sequence[int],
     workers: Optional[int] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> SweepResult:
     """Run *measure* over the grid ``param_values × seeds`` and aggregate.
 
@@ -68,7 +69,13 @@ def run_sweep(
         ``None``/``1`` runs serially (default); ``N > 1`` runs grid points
         on up to ``N`` forked processes, merging in grid order so the raw
         samples match the serial run byte-for-byte; ``-1`` uses the CPU
-        count.  Falls back to serial where ``fork`` is unavailable.
+        count.  Falls back to threads where ``fork`` is unavailable.
+    pool:
+        Optional caller-held :class:`~repro.perf.pool.WorkerPool` to
+        dispatch the grid through — callers running several sweeps pass one
+        pool so the workers fork once (``measure`` must be registered with
+        it before the pool starts).  When ``None`` the sweep holds its own
+        pool for the grid; *workers* is ignored when *pool* is given.
     """
     if not param_values:
         raise ValueError("param_values must be non-empty")
@@ -83,11 +90,16 @@ def run_sweep(
         sample = measure(value, seed)
         return dict(sample), time.perf_counter() - t0
 
-    # One whole-sweep span in the parent: ``measure`` runs in fork_map
-    # workers whose recorders are discarded, so per-point child spans are
-    # not observable here.  SweepPoint events attach to this span.
+    # One whole-sweep span in the parent: ``measure`` runs in pool workers
+    # whose recorders are discarded, so per-point child spans are not
+    # observable here.  SweepPoint events attach to this span.
     with span("sweep.run", param=param_name, points=len(grid)):
-        outcomes = fork_map(run_point, grid, workers)
+        if pool is not None:
+            outcomes = pool.map(run_point, grid)
+        else:
+            with WorkerPool(workers) as own:
+                own.register(run_point)
+                outcomes = own.map(run_point, grid)
 
         rec = get_recorder()
         raw: Dict[Tuple[str, float], List[float]] = {}

@@ -36,6 +36,7 @@ from repro.obs.events import (
     DistsimRound,
     LinkLayerSession,
     NullRecorder,
+    PoolDispatch,
     ReaderFailed,
     ReadMissed,
     Recorder,
@@ -91,6 +92,7 @@ __all__ = [
     "ReadMissed",
     "SolverDeadline",
     "ScheduleDegraded",
+    "PoolDispatch",
     "SweepPoint",
     "SpanStart",
     "SpanEnd",

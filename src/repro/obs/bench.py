@@ -31,7 +31,7 @@ from repro.obs.collectors import RunCollector
 from repro.obs.events import recording
 from repro.obs.export import merge_run, run_record
 from repro.perf.backends import resolve_backend, use_backend
-from repro.perf.parallel import fork_map
+from repro.perf.pool import WorkerPool
 
 try:  # pragma: no cover - resource is POSIX-only
     import resource
@@ -259,6 +259,22 @@ def _run_bench_job(
     )
 
 
+def _dispatch_bench_jobs(
+    jobs: List[Tuple[str, BenchPoint, bool, Optional[str], bool]],
+    workers: Optional[int],
+) -> List[dict]:
+    """Run the job tuples through one worker pool, in job order.
+
+    The single dispatch seam for every bench family mix: the pool forks
+    once for the whole matrix (``_run_bench_job`` is module-level, so it
+    ships by reference), runs the jobs with the usual payload-order merge,
+    and is torn down before the records are split back into families.
+    Serial worker counts never start a pool.
+    """
+    with WorkerPool(workers) as pool:
+        return pool.map(_run_bench_job, jobs)
+
+
 def run_bench_matrix(
     points: Sequence[BenchPoint],
     workers: Optional[int] = None,
@@ -291,12 +307,11 @@ def run_bench_matrix(
     name = resolve_backend(backend)
     if incremental:
         jobs = [("mcs", p, True, name, measure_memory) for p in points]
-        records = fork_map(_run_bench_job, jobs, workers)
-        return {"mcs": records}
+        return {"mcs": _dispatch_bench_jobs(jobs, workers)}
     jobs = [("oneshot", p, False, name, measure_memory) for p in points] + [
         ("mcs", p, False, name, measure_memory) for p in points
     ]
-    records = fork_map(_run_bench_job, jobs, workers)
+    records = _dispatch_bench_jobs(jobs, workers)
     return {
         "oneshot": records[: len(points)],
         "mcs": records[len(points):],
@@ -322,6 +337,11 @@ def write_bench_files(
 #: Stage names of the MCS driver's per-slot breakdown, in pipeline order.
 PROFILE_STAGES = ("solve", "inventory", "retire")
 
+#: Parallel-tier stage names appended to the profile table when any record
+#: carries them (only parallel dispatches record these; see
+#: ``docs/observability.md``).
+POOL_STAGES = ("pool.dispatch", "pool.collect")
+
 
 def format_stage_profile(records: Dict[str, List[dict]]) -> str:
     """Per-stage wall-clock breakdown of the mcs records (``--profile``).
@@ -330,20 +350,30 @@ def format_stage_profile(records: Dict[str, List[dict]]) -> str:
     (``solve`` / ``inventory`` / ``retire``, from the
     ``stage_seconds_by_name`` metric fed by
     :class:`~repro.obs.events.StageTiming` events) plus each stage's share
-    of the summed stage time.
+    of the summed stage time.  Records from parallel runs grow
+    ``pool.dispatch`` / ``pool.collect`` columns (the parallel tier's
+    submission and result-wait time; serial records never carry them).
     """
+    mcs_records = records.get("mcs", ())
+    stage_names = list(PROFILE_STAGES)
+    for s in POOL_STAGES:
+        if any(
+            s in r["metrics"].get("stage_seconds_by_name", {})
+            for r in mcs_records
+        ):
+            stage_names.append(s)
     rows = [
         f"{'label':<24} "
-        + " ".join(f"{s + '_s':>11}" for s in PROFILE_STAGES)
+        + " ".join(f"{s + '_s':>14}" for s in stage_names)
         + f" {'solve%':>7}"
     ]
-    for r in records.get("mcs", ()):
+    for r in mcs_records:
         stages = r["metrics"].get("stage_seconds_by_name", {})
         total = sum(stages.get(s, 0.0) for s in PROFILE_STAGES)
         share = 100.0 * stages.get("solve", 0.0) / total if total else 0.0
         rows.append(
             f"{r['label']:<24} "
-            + " ".join(f"{stages.get(s, 0.0):>11.4f}" for s in PROFILE_STAGES)
+            + " ".join(f"{stages.get(s, 0.0):>14.4f}" for s in stage_names)
             + f" {share:>6.1f}%"
         )
     if len(rows) == 1:

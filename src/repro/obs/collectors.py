@@ -16,6 +16,7 @@ from repro.obs.events import (
     CollisionTally,
     DistsimRound,
     LinkLayerSession,
+    PoolDispatch,
     ReaderFailed,
     ReadMissed,
     Recorder,
@@ -65,6 +66,14 @@ class RunCollector(Recorder):
         slots.  Like the fault counters, exported by :meth:`summary` only
         when at least one :class:`~repro.obs.events.ShardMerge` event was
         seen — unsharded records keep their historical shape.
+    pool_counters:
+        Tallies of the parallel tier's dispatch events (``pool_spawns``,
+        ``pool_tasks``, ``pool_payload_bytes``), summed over dispatches;
+        each :class:`~repro.obs.events.PoolDispatch` also folds its
+        ``dispatch_s`` / ``collect_s`` into :attr:`stage_times` under
+        ``"pool.dispatch"`` / ``"pool.collect"``.  Exported by
+        :meth:`summary` only when the parallel tier actually dispatched, so
+        serial records keep their historical shape.
     ignored_events:
         Count of events outside the :data:`~repro.obs.events.EVENT_TYPES`
         taxonomy that this collector received and skipped.  Never exported
@@ -105,6 +114,12 @@ class RunCollector(Recorder):
             "shard_boundary_repairs": 0,
         }
         self._shard_events_seen = False
+        self.pool_counters: Dict[str, int] = {
+            "pool_spawns": 0,
+            "pool_tasks": 0,
+            "pool_payload_bytes": 0,
+        }
+        self._pool_events_seen = False
         self.solver_times = Stopwatch()
         self.stage_times = Stopwatch()
         self.sweep_times = Stopwatch()
@@ -171,6 +186,13 @@ class RunCollector(Recorder):
             self.shard_counters["shard_halo_readers"] += event.halo_readers
             self.shard_counters["shard_boundary_repairs"] += event.boundary_repairs
             self._shard_events_seen = True
+        elif isinstance(event, PoolDispatch):
+            self.pool_counters["pool_spawns"] += event.spawned
+            self.pool_counters["pool_tasks"] += event.tasks
+            self.pool_counters["pool_payload_bytes"] += event.payload_bytes
+            self._pool_events_seen = True
+            self.stage_times.record("pool.dispatch", event.dispatch_s)
+            self.stage_times.record("pool.collect", event.collect_s)
         elif isinstance(event, ScheduleDone):
             self.schedule_complete = event.complete
         elif isinstance(event, SweepPoint):
@@ -203,6 +225,8 @@ class RunCollector(Recorder):
             out.update(self.fault_counters)
         if self._shard_events_seen:
             out.update(self.shard_counters)
+        if self._pool_events_seen:
+            out.update(self.pool_counters)
         out["tags_per_slot"] = list(self.tags_per_slot)
         out["sets_per_slot"] = list(self.sets_per_slot)
         if self.schedule_complete is not None:

@@ -197,6 +197,26 @@ class ShardMerge:
 
 
 @dataclass(frozen=True)
+class PoolDispatch:
+    """The parallel tier ran one deterministic map of *tasks* payloads in
+    *mode* (``"fork"`` / ``"thread"`` for the persistent
+    :class:`~repro.perf.pool.WorkerPool`, ``"fork-oneshot"`` /
+    ``"thread-oneshot"`` for a per-call :func:`~repro.perf.parallel.
+    fork_map`).  *spawned* counts worker pools brought up for this dispatch
+    (0 = an already-running pool was reused — the persistent pool's whole
+    point), *payload_bytes* the pickled task bytes shipped to workers
+    (measured only while a recorder is enabled), and *dispatch_s* /
+    *collect_s* the submission and result-wait wall-clock."""
+
+    mode: str
+    tasks: int
+    payload_bytes: int
+    spawned: int
+    dispatch_s: float
+    collect_s: float
+
+
+@dataclass(frozen=True)
 class SweepPoint:
     """One replicated sweep measurement: ``measure(value, seed)`` at sweep
     parameter *param* took *seconds*."""
@@ -251,6 +271,7 @@ EVENT_TYPES: Tuple[type, ...] = (
     SolverDeadline,
     ScheduleDegraded,
     ShardMerge,
+    PoolDispatch,
     SweepPoint,
     SpanStart,
     SpanEnd,

@@ -65,7 +65,7 @@ METRIC_FIELDS: Dict[str, str] = {
     "solver_calls": "one-shot solver invocations (SolverCall count)",
     "solver_wall_clock_s": "total solver wall-clock, seconds",
     "solver_seconds_by_name": "solver wall-clock split by solver name",
-    "stage_seconds_by_name": "MCS driver wall-clock split by stage (solve/inventory/retire)",
+    "stage_seconds_by_name": "MCS driver wall-clock split by stage (solve/inventory/retire, plus pool.dispatch/pool.collect when the parallel tier dispatched)",
     "sets_evaluated": "candidate scheduling sets scored by search routines",
     "sets_per_slot": "candidate sets evaluated while each slot was open",
     "sets_by_context": "sets_evaluated split by search context",
@@ -86,6 +86,9 @@ METRIC_FIELDS: Dict[str, str] = {
     "slowdown": "slots-to-completion ratio versus the fault-free baseline",
     "fault_fail_rate": "per-slot flaky-activation probability injected",
     "fault_miss_rate": "per-read miss probability injected",
+    "pool_spawns": "worker pools brought up (persistent pool: 1 per run; per-call fork_map: 1 per parallel dispatch)",
+    "pool_tasks": "payloads shipped through parallel dispatches, summed",
+    "pool_payload_bytes": "pickled task bytes shipped to workers, summed over dispatches",
     "shard_cells": "live spatial cells solved, summed over slots",
     "shard_halo_readers": "advisory halo readers shipped to cell solves, summed over slots",
     "shard_boundary_repairs": "cross-cell RTc conflicts repaired by the merge pass",

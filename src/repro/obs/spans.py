@@ -71,6 +71,9 @@ SPAN_NAMES: Dict[str, str] = {
     "events nest under it",
     "shard.merge": "the slot's boundary-reconciliation pass merging "
     "per-cell activations (shard.runtime.ShardRuntime.solve_slot)",
+    "pool.dispatch": "one deterministic map through the persistent worker "
+    "pool (perf.pool.WorkerPool.map): task submission plus the wait for "
+    "payload-order results",
 }
 
 _ids = count(1)

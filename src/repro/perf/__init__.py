@@ -13,12 +13,18 @@ Low-level representations and execution helpers shared by the solver stack:
 * :mod:`repro.perf.parallel` — opt-in fork-based process parallelism with
   deterministic, order-preserving merges (thread-pool fallback where
   ``fork`` is unavailable);
+* :mod:`repro.perf.pool` — the persistent :class:`WorkerPool`: same merge
+  contract as :func:`fork_map`, but forked once per run and reused across
+  slots/sweep points/bench jobs so spawn and pickle costs amortise;
 * :mod:`repro.perf.slotdelta` — cross-slot incremental MCS state: the
   unread mask maintained by clearing served-tag bits, per-reader remaining
   covered counts (reader retirement) and warm starts for the next slot.
 
-The layer sits below :mod:`repro.model`: it imports only NumPy and
-:mod:`repro.util`, so every other subpackage may depend on it.  The kernel
+The layer sits below :mod:`repro.model`: it imports only NumPy,
+:mod:`repro.util` and the leaf telemetry modules of :mod:`repro.obs`
+(events/spans — the parallel tier reports its dispatches like every other
+layer; see ``docs/architecture.md``), so every other subpackage may depend
+on it.  The kernel
 tier never changes *what* is computed — work counters (``sets_evaluated``,
 ``sets_by_context``) and returned weights are bit-identical to the
 reference paths; the opt-in pruning tier (:class:`ScheduleContext`) keeps
@@ -29,7 +35,8 @@ shrink.  See ``docs/performance.md``.
 from repro.perf.cache import conflict_bits, silencer_bits, system_memo
 from repro.perf.incremental import GeneralizedWeightClimber
 from repro.perf.packed import PackedCoverage, popcount_words
-from repro.perf.parallel import fork_map, resolve_workers
+from repro.perf.parallel import env_default_workers, fork_map, resolve_workers
+from repro.perf.pool import WorkerPool
 from repro.perf.slotdelta import ScheduleContext
 
 __all__ = [
@@ -42,4 +49,6 @@ __all__ = [
     "ScheduleContext",
     "fork_map",
     "resolve_workers",
+    "env_default_workers",
+    "WorkerPool",
 ]

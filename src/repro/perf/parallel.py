@@ -20,11 +20,27 @@ Design constraints, in order:
   process (the platform does not change between calls, so neither should
   the noise).
 
+Nested-parallelism contract: a ``fork_map`` (or
+:class:`~repro.perf.pool.WorkerPool` dispatch) issued from inside a worker
+— a worker-bound ``fn`` that itself parallelises — runs **serially** in
+that worker.  Forked pool workers are daemonic and cannot fork children,
+and re-binding the worker-function global under an outer pool would race
+it, so serial is the only deterministic behaviour.  The degradation is
+*recorded*, never silent: :data:`nested_serial_calls` counts occurrences
+in the affected process and a :class:`RuntimeWarning` fires once per
+process.  See ``docs/performance.md``.
+
 Telemetry contract: events emitted *inside* ``fn`` land in the worker's
 copy of the process-wide recorder and are discarded with the worker.
 Callers that need per-point telemetry must return it as part of ``fn``'s
 result (the bench runners do) or emit it in the parent after the merge (the
-sweep driver does).  See ``docs/performance.md``.
+sweep driver does).  Each parallel dispatch additionally emits one
+:class:`~repro.obs.events.PoolDispatch` event in the parent (mode
+``"fork-oneshot"`` / ``"thread-oneshot"`` here; the persistent pool emits
+``"fork"`` / ``"thread"``), so the exported ``pool_spawns`` counter makes
+per-call re-forking visible next to the persistent pool's single spawn.
+Serial execution emits nothing — serial records keep their historical
+shape.  See ``docs/performance.md``.
 
 Thread-fallback caveat: threads *share* the process-wide recorder, so on
 fork-less platforms events from concurrent payloads interleave into whatever
@@ -38,20 +54,80 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence
 
+from repro.obs.events import PoolDispatch, get_recorder
+from repro.util.validation import check_workers
+
 _WORKER_FN: Optional[Callable[[Any], Any]] = None
+
+#: True inside a forked :class:`~repro.perf.pool.WorkerPool` worker (set by
+#: the pool's initializer).  Parent processes never set it.
+_IN_POOL_WORKER = False
 
 #: Set after the first thread-pool degradation warning; the fallback is a
 #: property of the platform, so it is reported once per process.
 _THREAD_FALLBACK_WARNED = False
 
+#: Nested parallel dispatches degraded to serial in *this* process (worker
+#: processes count their own occurrences; the tallies die with them).
+nested_serial_calls = 0
+
+_NESTED_WARNED = False
+
 
 def _invoke(payload_with_index) -> tuple:
     index, payload = payload_with_index
     return index, _WORKER_FN(payload)
+
+
+def in_pool_worker() -> bool:
+    """True when the calling process is a forked pool worker (either a
+    :class:`~repro.perf.pool.WorkerPool` child or any daemonic
+    ``multiprocessing`` worker).  Thread-mode and serial dispatches run in
+    the parent, where this stays False."""
+    return _IN_POOL_WORKER or multiprocessing.current_process().daemon
+
+
+def _note_nested_serial() -> None:
+    """Record one nested parallel dispatch degraded to serial."""
+    global nested_serial_calls, _NESTED_WARNED
+    nested_serial_calls += 1
+    if not _NESTED_WARNED:
+        _NESTED_WARNED = True
+        warnings.warn(
+            "nested parallel dispatch: fn is already running inside a "
+            "worker, so this fork_map/WorkerPool level runs serially "
+            "(counted in repro.perf.parallel.nested_serial_calls; see "
+            "docs/performance.md)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def _warn_thread_fallback() -> None:
+    """Emit the once-per-process thread-degradation warning."""
+    global _THREAD_FALLBACK_WARNED
+    if not _THREAD_FALLBACK_WARNED:
+        _THREAD_FALLBACK_WARNED = True
+        warnings.warn(
+            "os.fork unavailable on this platform; falling back to a "
+            "thread pool (results identical, telemetry events from "
+            "concurrent payloads interleave)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    return (
+        hasattr(os, "fork")
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -64,6 +140,19 @@ def resolve_workers(workers: Optional[int]) -> int:
     return int(workers)
 
 
+def env_default_workers(cli_value: Optional[int] = None) -> Optional[int]:
+    """The effective worker count under the ``REPRO_WORKERS`` environment
+    default: an explicit *cli_value* always wins, else the environment
+    variable (validated), else ``None`` (serial).  Precedence CLI > env >
+    serial — every ``--workers`` CLI flag routes through here."""
+    if cli_value is not None:
+        return cli_value
+    raw = os.environ.get("REPRO_WORKERS")
+    if raw is None or not raw.strip():
+        return None
+    return check_workers("REPRO_WORKERS", raw)
+
+
 def fork_map(
     fn: Callable[[Any], Any],
     payloads: Sequence[Any],
@@ -72,45 +161,80 @@ def fork_map(
     """Map *fn* over *payloads*, optionally on forked worker processes.
 
     Returns ``[fn(p) for p in payloads]`` in payload order regardless of
-    worker count.
+    worker count.  One-shot: the pool is created and torn down per call —
+    callers with many consecutive maps should hold a
+    :class:`~repro.perf.pool.WorkerPool` instead and let this function be
+    the degradation path.
     """
+    global _WORKER_FN
     payloads = list(payloads)
     count = resolve_workers(workers)
     if count <= 1 or len(payloads) <= 1:
         return [fn(p) for p in payloads]
-    if (
-        not hasattr(os, "fork")
-        or "fork" not in multiprocessing.get_all_start_methods()
-    ):
+    if _WORKER_FN is not None or in_pool_worker():
+        # Nested parallelism (fn itself parallelises, or we are inside a
+        # daemonic pool worker that cannot fork children): run this level
+        # serially — recorded, not silent.
+        _note_nested_serial()
+        return [fn(p) for p in payloads]
+    if not fork_available():
         # No fork on this platform: degrade to threads, keeping the
         # payload-order merge (and hence deterministic results for a
         # deterministic fn).  Warn once per process — throughput and the
         # ambient-telemetry isolation differ from the forked path, but
         # repeating that on every call buries real warnings.
-        global _THREAD_FALLBACK_WARNED
-        if not _THREAD_FALLBACK_WARNED:
-            _THREAD_FALLBACK_WARNED = True
-            warnings.warn(
-                "fork_map: os.fork unavailable on this platform; "
-                "falling back to a thread pool (results identical, telemetry "
-                "events from concurrent payloads interleave)",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+        _warn_thread_fallback()
+        rec = get_recorder()
+        t0 = time.perf_counter()
         with ThreadPoolExecutor(max_workers=min(count, len(payloads))) as pool:
-            return list(pool.map(fn, payloads))
+            t1 = time.perf_counter()
+            results = list(pool.map(fn, payloads))
+        if rec.enabled:
+            t2 = time.perf_counter()
+            rec.emit(
+                PoolDispatch(
+                    mode="thread-oneshot",
+                    tasks=len(payloads),
+                    payload_bytes=0,  # thread payloads are never pickled
+                    spawned=1,
+                    dispatch_s=t1 - t0,
+                    collect_s=t2 - t1,
+                )
+            )
+        return results
 
-    global _WORKER_FN
-    if _WORKER_FN is not None:
-        # Nested fork_map (fn itself parallelises): run this level serially
-        # rather than re-binding the global out from under the outer pool.
-        return [fn(p) for p in payloads]
+    rec = get_recorder()
+    tasks = list(enumerate(payloads))
+    payload_bytes = 0
+    if rec.enabled:
+        import pickle
+
+        payload_bytes = len(
+            pickle.dumps(tasks, protocol=pickle.HIGHEST_PROTOCOL)
+        )
     ctx = multiprocessing.get_context("fork")
     _WORKER_FN = fn
+    t0 = time.perf_counter()
     try:
         with ctx.Pool(processes=min(count, len(payloads))) as pool:
-            indexed = pool.map(_invoke, list(enumerate(payloads)))
+            t1 = time.perf_counter()
+            indexed = pool.map(_invoke, tasks)
     finally:
         _WORKER_FN = None
+    t2 = time.perf_counter()
+    if rec.enabled:
+        # dispatch_s is dominated by per-call pool creation (the cost the
+        # persistent pool amortises); collect_s is the map itself plus the
+        # teardown of the short-lived pool.
+        rec.emit(
+            PoolDispatch(
+                mode="fork-oneshot",
+                tasks=len(tasks),
+                payload_bytes=payload_bytes,
+                spawned=1,
+                dispatch_s=t1 - t0,
+                collect_s=t2 - t1,
+            )
+        )
     indexed.sort(key=lambda pair: pair[0])
     return [result for _, result in indexed]

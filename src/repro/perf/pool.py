@@ -1,0 +1,327 @@
+"""Persistent worker pool: fork once, dispatch per slot.
+
+:func:`~repro.perf.parallel.fork_map` pays process startup and teardown on
+**every call** — fine for a single bench matrix, ruinous for a sharded
+covering schedule that dispatches once per slot.  :class:`WorkerPool` keeps
+the same deterministic payload-order merge contract but holds its workers
+for the life of a run, so the fork/pickle tax is paid once and every later
+dispatch ships only small deltas (per-cell seeds, retired-tag suffixes,
+returned activation sets).
+
+How heavy state reaches the workers
+-----------------------------------
+
+Workers are created with the ``fork`` start method, so they inherit the
+parent's entire heap — partitions, halo subsystems, packed coverage words —
+as copy-on-write pages at fork time, for free.  That is the same
+shared-immutable-state mechanism ``fork_map`` relies on, made *persistent*:
+because the pool outlives many dispatches, callables that close over the
+heavy state must be **registered before the pool starts**
+(:meth:`WorkerPool.register`, implicit on the first :meth:`WorkerPool.map`)
+so the fork snapshot contains them.  Module-level functions pickle by
+reference and may be dispatched at any time without registration.  A
+non-registrable callable arriving after the fork degrades to a one-shot
+:func:`~repro.perf.parallel.fork_map` — recorded in
+:attr:`WorkerPool.fallback_maps` and warned once, never silent.
+
+Mutable cross-slot state stays in the parent; callers broadcast compact
+delta arrays through the payloads and workers catch up locally (see
+:meth:`repro.shard.runtime.ShardRuntime.pool_scope` for the canonical
+pattern).  ``multiprocessing.shared_memory`` views were considered and
+rejected: fork inheritance already shares the immutable gigabytes with zero
+code, while shared-memory segments would add lifecycle management for the
+small mutable part that pickles in microseconds.
+
+Degradation mirrors ``fork_map``: ``workers<=1`` runs every map serially
+in-process (no pool, no events), fork-less platforms run a persistent
+thread pool after the once-per-process :class:`RuntimeWarning`, and both
+paths preserve the payload-order merge, so worker count and pool mode never
+change results.
+
+Telemetry: every non-serial dispatch runs under a ``pool.dispatch`` span
+and emits one :class:`~repro.obs.events.PoolDispatch` event
+(``pool_spawns`` / ``pool_tasks`` / ``pool_payload_bytes`` counters plus
+``pool.dispatch`` / ``pool.collect`` stage timings in the exported
+metrics).  A persistent pool shows ``pool_spawns == 1`` per run where the
+per-slot ``fork_map`` path shows one spawn per parallel slot — the
+amortisation is visible in the BENCH records.  See ``docs/performance.md``
+and ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import sys
+import time
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.obs.events import PoolDispatch, get_recorder
+from repro.obs.spans import span
+from repro.perf import parallel
+from repro.perf.parallel import (
+    fork_available,
+    fork_map,
+    in_pool_worker,
+    resolve_workers,
+)
+
+#: Worker-side registry: the owning pool points this at its registered
+#: callables immediately before forking, so children inherit the list (and
+#: every closure in it) in their copy-on-write heap.  Parent-side mutations
+#: after the fork are invisible to the children — which is exactly the
+#: register-before-start contract.
+_WORKER_TASKS: Optional[List[Callable[[Any], Any]]] = None
+
+
+def _pool_worker_init() -> None:
+    """Runs once in each forked child: mark the process as a pool worker so
+    nested parallel dispatches degrade serially (recorded, not crashed —
+    daemonic workers cannot fork children)."""
+    parallel._IN_POOL_WORKER = True
+
+
+def _pool_invoke(task: tuple) -> tuple:
+    index, handle, fn, payload = task
+    target = _WORKER_TASKS[handle] if handle >= 0 else fn
+    return index, target(payload)
+
+
+def _ref_picklable(fn: Callable) -> bool:
+    """True when *fn* pickles by reference (a module-level function), so it
+    can be shipped to already-forked workers without registration."""
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", "")
+    if module is None or not qualname or "." in qualname:
+        return False
+    mod = sys.modules.get(module)
+    return mod is not None and getattr(mod, qualname, None) is fn
+
+
+class WorkerPool:
+    """A persistent, deterministic worker pool (see module docstring).
+
+    Parameters
+    ----------
+    workers:
+        Worker count, in the :func:`~repro.perf.parallel.resolve_workers`
+        convention (``None``/``0`` serial, negative = CPU count).  Resolved
+        once at construction; ``<= 1`` makes every :meth:`map` a plain
+        in-process loop and never starts anything.
+
+    Usage::
+
+        with WorkerPool(workers) as pool:
+            pool.register(bound_method)        # before the first map
+            for slot in range(n_slots):
+                results = pool.map(bound_method, payloads)
+
+    The pool is reusable across arbitrarily many :meth:`map` calls until
+    :meth:`close` (or context-manager exit); closing terminates and joins
+    the workers, so solver exceptions can never leak children.
+    """
+
+    def __init__(self, workers: Optional[int]) -> None:
+        self._workers = resolve_workers(workers)
+        self._mode = (
+            "serial"
+            if self._workers <= 1 or in_pool_worker()
+            else ("fork" if fork_available() else "thread")
+        )
+        if self._workers > 1 and in_pool_worker():
+            # a pool inside a pool worker cannot fork; run its maps serially
+            parallel._note_nested_serial()
+        self._registry: List[Callable[[Any], Any]] = []
+        self._procs = None
+        self._threads: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+        self._spawn_pending = 0
+        self._spawn_seconds = 0.0
+        #: Dispatches that fell back to one-shot ``fork_map`` because the
+        #: callable was neither registered before the fork nor picklable by
+        #: reference.
+        self.fallback_maps = 0
+        self._fallback_warned = False
+
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """``"fork"``, ``"thread"`` or ``"serial"`` (fixed per pool)."""
+        return self._mode
+
+    @property
+    def started(self) -> bool:
+        """True once worker processes/threads exist."""
+        return self._procs is not None or self._threads is not None
+
+    def register(self, fn: Callable[[Any], Any]) -> int:
+        """Register *fn* for dispatch before the workers fork; returns its
+        handle.  Idempotent per callable (bound methods compare by value,
+        so re-accessing ``obj.method`` re-registers nothing).  Required for
+        closures and bound methods; module-level functions need no
+        registration."""
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        handle = self._handle_of(fn)
+        if handle is not None:
+            return handle
+        if self.started and self._mode == "fork":
+            raise RuntimeError(
+                "WorkerPool workers already forked; register callables "
+                "before the first map (see docs/performance.md)"
+            )
+        self._registry.append(fn)
+        return len(self._registry) - 1
+
+    def _handle_of(self, fn: Callable) -> Optional[int]:
+        for i, registered in enumerate(self._registry):
+            if registered == fn:
+                return i
+        return None
+
+    def start(self) -> None:
+        """Bring the workers up now (otherwise the first :meth:`map` does).
+
+        For fork mode this pins the inheritance snapshot: everything the
+        registered callables close over must be in its run-start state when
+        this is called."""
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        if self.started or self._mode == "serial":
+            return
+        t0 = time.perf_counter()
+        if self._mode == "thread":
+            parallel._warn_thread_fallback()
+            self._threads = ThreadPoolExecutor(max_workers=self._workers)
+        else:
+            global _WORKER_TASKS
+            ctx = multiprocessing.get_context("fork")
+            _WORKER_TASKS = self._registry
+            try:
+                self._procs = ctx.Pool(
+                    processes=self._workers, initializer=_pool_worker_init
+                )
+            finally:
+                _WORKER_TASKS = None
+        self._spawn_pending += 1
+        self._spawn_seconds += time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    def map(
+        self, fn: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> List[Any]:
+        """Map *fn* over *payloads* on the persistent workers; results come
+        back in payload order, exactly as from
+        :func:`~repro.perf.parallel.fork_map`."""
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        if self._mode == "serial":
+            return [fn(p) for p in payloads]
+        handle = self._handle_of(fn)
+        if handle is None and not self.started and self._mode == "fork":
+            handle = self.register(fn)
+        if (
+            handle is None
+            and self._mode == "fork"
+            and not _ref_picklable(fn)
+        ):
+            # Registered too late to be in the fork snapshot and not
+            # shippable by reference: degrade to a one-shot fork_map —
+            # recorded, never silent.
+            self.fallback_maps += 1
+            if not self._fallback_warned:
+                self._fallback_warned = True
+                warnings.warn(
+                    "WorkerPool.map: callable not registered before the "
+                    "workers forked and not picklable by reference; "
+                    "falling back to one-shot fork_map (results identical, "
+                    "spawn cost per call — register it earlier, see "
+                    "docs/performance.md)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return fork_map(fn, payloads, self._workers)
+        self.start()
+        rec = get_recorder()
+        spawned, spawn_s = self._spawn_pending, self._spawn_seconds
+        self._spawn_pending, self._spawn_seconds = 0, 0.0
+        if self._mode == "thread":
+            with span("pool.dispatch", mode="thread", tasks=len(payloads)):
+                t0 = time.perf_counter()
+                futures = [self._threads.submit(fn, p) for p in payloads]
+                t1 = time.perf_counter()
+                results = [f.result() for f in futures]
+                t2 = time.perf_counter()
+            if rec.enabled:
+                rec.emit(
+                    PoolDispatch(
+                        mode="thread",
+                        tasks=len(payloads),
+                        payload_bytes=0,  # threads never pickle payloads
+                        spawned=spawned,
+                        dispatch_s=spawn_s + (t1 - t0),
+                        collect_s=t2 - t1,
+                    )
+                )
+            return results
+        tasks = [
+            (i, -1 if handle is None else handle, fn if handle is None else None, p)
+            for i, p in enumerate(payloads)
+        ]
+        payload_bytes = (
+            len(pickle.dumps(tasks, protocol=pickle.HIGHEST_PROTOCOL))
+            if rec.enabled
+            else 0
+        )
+        with span("pool.dispatch", mode="fork", tasks=len(payloads)):
+            t0 = time.perf_counter()
+            pending = self._procs.map_async(_pool_invoke, tasks)
+            t1 = time.perf_counter()
+            indexed = pending.get()
+            t2 = time.perf_counter()
+        if rec.enabled:
+            # dispatch_s carries the (amortised) spawn plus submission;
+            # collect_s is the wait for payload-ordered results.
+            rec.emit(
+                PoolDispatch(
+                    mode="fork",
+                    tasks=len(tasks),
+                    payload_bytes=payload_bytes,
+                    spawned=spawned,
+                    dispatch_s=spawn_s + (t1 - t0),
+                    collect_s=t2 - t1,
+                )
+            )
+        indexed.sort(key=lambda pair: pair[0])
+        return [result for _, result in indexed]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Terminate and join the workers (idempotent).
+
+        ``terminate`` rather than ``close``: every :meth:`map` is
+        synchronous, so nothing useful is ever in flight here — and after a
+        solver exception it is the only way to guarantee no child outlives
+        the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._procs is not None:
+            self._procs.terminate()
+            self._procs.join()
+            self._procs = None
+        if self._threads is not None:
+            self._threads.shutdown(wait=True)
+            self._threads = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

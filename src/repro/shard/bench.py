@@ -50,6 +50,10 @@ class ScalePoint:
     arrays (``shard_cells`` then must request a non-trivial partition).
     ``shard_cells=None`` means unsharded; note ``0`` requests auto-sizing
     (finest safe cells), which is only meaningful for the array driver.
+    ``use_pool=False`` pins sharded parallel solves to the legacy per-slot
+    :func:`~repro.perf.parallel.fork_map` instead of the persistent
+    :class:`~repro.perf.pool.WorkerPool` — the A/B leg for measuring the
+    amortised spawn cost (results are identical either way).
     """
 
     label: str
@@ -65,6 +69,7 @@ class ScalePoint:
     workers: Optional[int] = None
     max_slots: Optional[int] = None
     incremental: bool = True
+    use_pool: bool = True
 
     def scenario_dict(self) -> dict:
         """The record's ``scenario`` payload: generator parameters plus the
@@ -80,6 +85,7 @@ class ScalePoint:
             shard_cells=self.shard_cells,
             workers=self.workers,
             max_slots=self.max_slots,
+            use_pool=self.use_pool,
         )
 
 
@@ -163,6 +169,7 @@ def run_scale_point(point: ScalePoint, backend: Optional[str] = None) -> dict:
             spec = ShardSpec(
                 cells=0 if point.shard_cells is None else point.shard_cells,
                 workers=point.workers,
+                pool=point.use_pool,
             )
             run_scale_schedule(
                 deployment,
@@ -187,7 +194,11 @@ def run_scale_point(point: ScalePoint, backend: Optional[str] = None) -> dict:
             system = scenario.build()
             solver = get_solver(point.solver)
             spec = (
-                ShardSpec(cells=point.shard_cells, workers=point.workers)
+                ShardSpec(
+                    cells=point.shard_cells,
+                    workers=point.workers,
+                    pool=point.use_pool,
+                )
                 if point.shard_cells is not None
                 else None
             )

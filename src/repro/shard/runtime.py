@@ -38,6 +38,7 @@ event carries the slot's work counters.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -50,7 +51,8 @@ from repro.obs.events import (
     recording,
 )
 from repro.obs.spans import span
-from repro.perf.parallel import fork_map
+from repro.perf.parallel import fork_map, in_pool_worker, resolve_workers
+from repro.perf.pool import WorkerPool
 from repro.perf.slotdelta import ScheduleContext
 from repro.shard.partition import ShardPartition
 from repro.util.rng import as_rng
@@ -99,6 +101,10 @@ class ShardRuntime:
         self._solver = None
         self._takes_context = False
         self._collect = False
+        # persistent-pool state (active only inside pool_scope)
+        self._pool: Optional[WorkerPool] = None
+        self._retired_logs: Optional[List[List[np.ndarray]]] = None
+        self._pool_applied: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -115,6 +121,75 @@ class ShardRuntime:
         return [
             i for i, ctx in enumerate(self._contexts) if ctx.num_unread > 0
         ]
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def pool_scope(self, solver, takes_context: bool, rec, workers=None):
+        """Hold one persistent :class:`~repro.perf.pool.WorkerPool` for
+        every slot solved inside the ``with`` block.
+
+        The workers fork *now* and inherit the whole runtime — partition,
+        subsystems, per-cell contexts — as copy-on-write pages; afterwards
+        each :meth:`solve_slot` ships only per-cell seeds plus each cell's
+        retired-tag log, and forked workers replay the log suffix they have
+        not yet applied before solving (``retire_tags`` is idempotent on a
+        tag set, so replay order cannot change state).  Exiting the scope —
+        normally or through a solver exception — terminates and joins the
+        workers, so no child can leak.
+
+        Degrades to a no-op (``solve_slot`` keeps its per-slot
+        :func:`~repro.perf.parallel.fork_map` path, itself serial at one
+        worker) for trivial partitions, serial worker counts, or
+        ``spec.pool=False`` — the A/B comparison leg.  *workers* overrides
+        ``spec.workers`` when given.
+        """
+        spec = self.partition.spec
+        count = spec.workers if workers is None else workers
+        if (
+            self.partition.is_trivial
+            or not spec.pool
+            or resolve_workers(count) <= 1
+        ):
+            yield None
+            return
+        self._solver = solver
+        self._takes_context = takes_context
+        self._collect = bool(rec.enabled)
+        self._retired_logs = [[] for _ in self.partition.cells]
+        self._pool_applied = [0] * len(self.partition.cells)
+        pool = WorkerPool(count)
+        try:
+            pool.register(self._solve_cell_pool)
+            pool.start()  # fork here: contexts are in their slot-0 state
+            self._pool = pool
+            yield pool
+        finally:
+            self._pool = None
+            pool.close()
+            self._solver = None
+            self._takes_context = False
+            self._collect = False
+            self._retired_logs = None
+            self._pool_applied = None
+
+    def _solve_cell_pool(self, payload):
+        """Pool worker body: catch the cell up on retirements it has not
+        seen, then solve it (:meth:`_solve_cell`).
+
+        Forked workers keep their fork-time snapshot of the contexts, so
+        the payload carries the cell's full retired-tag log and each worker
+        applies only the suffix beyond its own ``_pool_applied`` watermark.
+        Thread-mode and serial dispatches run in the parent, whose contexts
+        are already authoritative — the :func:`in_pool_worker` guard skips
+        the replay there.
+        """
+        idx, seed, log = payload
+        if in_pool_worker():
+            applied = self._pool_applied[idx]
+            for entry in log[applied:]:
+                self._contexts[idx].retire_tags(entry)
+            self._pool_applied[idx] = len(log)
+        return self._solve_cell((idx, seed))
 
     # ------------------------------------------------------------------
     def solve_slot(
@@ -148,17 +223,28 @@ class ShardRuntime:
         # one child seed per live cell, from the driver's stream — worker
         # count never touches the rng, so parallelism cannot change results
         seeds = rng.integers(0, 2 ** 63 - 1, size=len(live))
-        self._solver = solver
-        self._takes_context = takes_context
-        self._collect = bool(rec.enabled)
-        try:
-            outputs = fork_map(
-                self._solve_cell,
-                [(idx, int(seed)) for idx, seed in zip(live, seeds)],
-                self.partition.spec.workers,
+        if self._pool is not None:
+            # persistent pool: ship seeds plus each cell's retirement log
+            # (workers replay only their unseen suffix; see pool_scope)
+            outputs = self._pool.map(
+                self._solve_cell_pool,
+                [
+                    (idx, int(seed), tuple(self._retired_logs[idx]))
+                    for idx, seed in zip(live, seeds)
+                ],
             )
-        finally:
-            self._solver = None
+        else:
+            self._solver = solver
+            self._takes_context = takes_context
+            self._collect = bool(rec.enabled)
+            try:
+                outputs = fork_map(
+                    self._solve_cell,
+                    [(idx, int(seed)) for idx, seed in zip(live, seeds)],
+                    self.partition.spec.workers,
+                )
+            finally:
+                self._solver = None
 
         parts: List[np.ndarray] = []
         halo_total = 0
@@ -312,6 +398,10 @@ class ShardRuntime:
             cell = self.partition.cells[int(c)]
             local = np.searchsorted(cell.tag_ids, tags[s:e])
             self._contexts[int(c)].retire_tags(local)
+            if self._retired_logs is not None:
+                # pool active: append to the cell's log so forked workers
+                # can catch up before their next solve (pool_scope)
+                self._retired_logs[int(c)].append(local)
 
     # ------------------------------------------------------------------
     def best_singleton(self) -> Optional[int]:

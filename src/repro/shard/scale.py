@@ -198,7 +198,10 @@ def run_scale_schedule(
     rpos, interference, interrogation, tpos = deployment.materialize()
     if workers_hint is not None:
         spec = ShardSpec(
-            cells=spec.cells, workers=workers_hint, halo_scale=spec.halo_scale
+            cells=spec.cells,
+            workers=workers_hint,
+            halo_scale=spec.halo_scale,
+            pool=spec.pool,
         )
     partition = ShardPartition.from_arrays(
         rpos, interference, interrogation, tpos, spec
@@ -228,51 +231,54 @@ def run_scale_schedule(
 
     slots: List[ScaleSlotRecord] = []
     total_read = 0
-    while runtime.num_unread > 0 and len(slots) < cap:
-        slot = len(slots)
-        if rec.enabled:
-            rec.emit(SlotStart(slot=slot, unread_tags=runtime.num_unread))
-        active, meta = runtime.solve_slot(
-            slot, solver_fn, rng, rec, takes_context=takes_context
-        )
-        well, rrc, rtc = _slot_verification(
-            active, rpos, interference, interrogation,
-            tag_grid, unread, counts, owner,
-        )
-        if len(well) == 0:
-            fallback = runtime.best_singleton()
-            if fallback is None:  # pragma: no cover - num_unread > 0 above
-                break
-            active = np.asarray([fallback], dtype=np.int64)
+    # one persistent worker pool for the whole schedule (no-op when serial
+    # or spec.pool=False; see ShardRuntime.pool_scope)
+    with runtime.pool_scope(solver_fn, takes_context, rec):
+        while runtime.num_unread > 0 and len(slots) < cap:
+            slot = len(slots)
+            if rec.enabled:
+                rec.emit(SlotStart(slot=slot, unread_tags=runtime.num_unread))
+            active, meta = runtime.solve_slot(
+                slot, solver_fn, rng, rec, takes_context=takes_context
+            )
             well, rrc, rtc = _slot_verification(
                 active, rpos, interference, interrogation,
                 tag_grid, unread, counts, owner,
             )
-        if rec.enabled:
-            rec.emit(
-                CollisionTally(slot=slot, rrc_blocked=rrc, rtc_silenced=rtc)
-            )
-        runtime.retire(well)
-        unread[well] = False
-        total_read += int(len(well))
-        if rec.enabled:
-            rec.emit(
-                SlotEnd(
+            if len(well) == 0:
+                fallback = runtime.best_singleton()
+                if fallback is None:  # pragma: no cover - num_unread > 0 above
+                    break
+                active = np.asarray([fallback], dtype=np.int64)
+                well, rrc, rtc = _slot_verification(
+                    active, rpos, interference, interrogation,
+                    tag_grid, unread, counts, owner,
+                )
+            if rec.enabled:
+                rec.emit(
+                    CollisionTally(slot=slot, rrc_blocked=rrc, rtc_silenced=rtc)
+                )
+            runtime.retire(well)
+            unread[well] = False
+            total_read += int(len(well))
+            if rec.enabled:
+                rec.emit(
+                    SlotEnd(
+                        slot=slot,
+                        tags_read=int(len(well)),
+                        weight=int(len(well)),
+                        active_readers=int(len(active)),
+                    )
+                )
+            slots.append(
+                ScaleSlotRecord(
                     slot=slot,
-                    tags_read=int(len(well)),
-                    weight=int(len(well)),
                     active_readers=int(len(active)),
+                    tags_read=int(len(well)),
+                    cells_solved=int(meta.get("cells_solved", 0)),
+                    boundary_repairs=int(meta.get("boundary_repairs", 0)),
                 )
             )
-        slots.append(
-            ScaleSlotRecord(
-                slot=slot,
-                active_readers=int(len(active)),
-                tags_read=int(len(well)),
-                cells_solved=int(meta.get("cells_solved", 0)),
-                boundary_repairs=int(meta.get("boundary_repairs", 0)),
-            )
-        )
     complete = not bool(unread.any())
     if rec.enabled:
         rec.emit(

@@ -72,6 +72,27 @@ def check_nonnegative_int(name: str, value: int, minimum: int = 0) -> int:
     return int(value)
 
 
+def check_workers(name: str, value) -> int:
+    """Validate a worker-count argument; returns it as a plain ``int``.
+
+    Accepts an integer or a string holding one (the ``REPRO_WORKERS``
+    environment variable arrives as text).  Booleans are rejected, as are
+    floats and non-numeric strings.  Any value is allowed on the integer
+    line: ``0`` means serial and negative means CPU count, exactly the
+    :func:`repro.perf.parallel.resolve_workers` convention.
+    """
+    if isinstance(value, str):
+        try:
+            value = int(value.strip())
+        except ValueError:
+            raise ValueError(
+                f"{name} must be an integer worker count, got {value!r}"
+            ) from None
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    return int(value)
+
+
 def check_finite_array(name: str, arr: np.ndarray) -> np.ndarray:
     """Validate that *arr* contains only finite values; returns the array."""
     arr = np.asarray(arr)

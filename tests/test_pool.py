@@ -1,0 +1,311 @@
+"""Tests for the persistent worker pool (``repro.perf.pool``).
+
+The pool's contract has four load-bearing clauses, each pinned here:
+
+* **amortisation** — one fork per run (``pool_spawns == 1``) no matter how
+  many slots/maps dispatch through it, where the legacy per-slot
+  ``fork_map`` path spawns once per parallel dispatch;
+* **bit-identity** — worker count and pool mode (fork / thread / serial)
+  never change schedules or work counters;
+* **clean shutdown** — exiting the pool (normally or through a solver
+  exception) terminates and joins every child;
+* **recorded degradation** — nested dispatches and post-fork closures fall
+  back serially / one-shot with a counter and a once-per-process warning,
+  never silently.
+
+Plus the ``REPRO_WORKERS`` environment default honoured by every
+``--workers`` CLI flag (precedence CLI > env > serial).
+"""
+
+import multiprocessing
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.obs.collectors import RunCollector
+from repro.obs.events import PoolDispatch, TraceRecorder, recording
+from repro.perf import parallel as parallel_module
+from repro.perf import pool as pool_module
+from repro.perf.parallel import env_default_workers, fork_map
+from repro.perf.pool import WorkerPool
+from repro.shard import ScaleDeployment, ShardSpec, run_scale_schedule
+from repro.util.validation import check_workers
+
+#: Small enough for CI, sharded enough (>= 4 live cells) that every slot
+#: actually dispatches parallel work.
+DEPLOYMENT = ScaleDeployment(num_readers=120, num_tags=1500, side=160.0, seed=7)
+CELLS = 16
+SEED = 11
+MAX_SLOTS = 40
+
+TIMING = (
+    "solver_wall_clock_s",
+    "solver_seconds_by_name",
+    "stage_seconds_by_name",
+    "pool_spawns",
+    "pool_tasks",
+    "pool_payload_bytes",
+)
+
+
+def run_scale(spec, record=True):
+    """One pinned scale schedule; returns ``(result, metrics-or-None)``."""
+    if not record:
+        result = run_scale_schedule(
+            DEPLOYMENT, spec, solver="ghc", seed=SEED, max_slots=MAX_SLOTS
+        )
+        return result, None
+    collector = RunCollector()
+    with recording(collector):
+        result = run_scale_schedule(
+            DEPLOYMENT, spec, solver="ghc", seed=SEED, max_slots=MAX_SLOTS
+        )
+    return result, collector.summary()
+
+
+def strip_timing(summary):
+    return {k: v for k, v in summary.items() if k not in TIMING}
+
+
+def _double(x):
+    """Module-level: picklable by reference, needs no registration."""
+    return 2 * x
+
+
+def _explode(x):
+    raise ZeroDivisionError(f"worker failed on {x!r}")
+
+
+def no_leaked_children():
+    for child in multiprocessing.active_children():
+        child.join(timeout=5)
+    return not multiprocessing.active_children()
+
+
+class _Scaler:
+    def __init__(self, k):
+        self.k = k
+
+    def mul(self, x):
+        return self.k * x
+
+
+class TestWorkerPool:
+    def test_map_preserves_payload_order(self):
+        with WorkerPool(4) as pool:
+            assert pool.map(_double, range(20)) == [2 * i for i in range(20)]
+
+    def test_one_spawn_across_many_maps(self):
+        collector = RunCollector()
+        with recording(collector), WorkerPool(2) as pool:
+            for _ in range(5):
+                pool.map(_double, [1, 2, 3])
+        assert collector.pool_counters["pool_spawns"] == 1
+        assert collector.pool_counters["pool_tasks"] == 15
+        assert collector.pool_counters["pool_payload_bytes"] > 0
+        stages = collector.stage_times.labels()
+        assert "pool.dispatch" in stages and "pool.collect" in stages
+
+    def test_dispatch_events_report_persistent_mode(self):
+        rec = TraceRecorder()
+        with recording(rec), WorkerPool(2) as pool:
+            pool.map(_double, [1, 2])
+            pool.map(_double, [3, 4])
+        dispatches = [e for e in rec.events if isinstance(e, PoolDispatch)]
+        assert [d.mode for d in dispatches] == ["fork", "fork"]
+        # the spawn is charged to the dispatch that started the pool
+        assert [d.spawned for d in dispatches] == [1, 0]
+
+    def test_bound_method_roundtrip(self):
+        scaler = _Scaler(10)
+        with WorkerPool(2) as pool:
+            pool.register(scaler.mul)
+            # bound methods compare by value: re-accessing registers nothing
+            assert pool.register(scaler.mul) == 0
+            assert pool.map(scaler.mul, [1, 2, 3]) == [10, 20, 30]
+
+    def test_serial_pool_runs_inline_and_emits_nothing(self):
+        collector = RunCollector()
+        with recording(collector), WorkerPool(1) as pool:
+            assert pool.map(_double, [1, 2]) == [2, 4]
+            assert not pool.started
+        assert collector.pool_counters["pool_spawns"] == 0
+        assert "pool_spawns" not in collector.summary()
+
+    def test_register_after_fork_rejected(self):
+        with WorkerPool(2) as pool:
+            pool.map(_double, [1])
+            with pytest.raises(RuntimeError, match="already forked"):
+                pool.register(_Scaler(3).mul)
+
+    def test_post_fork_closure_falls_back_oneshot(self):
+        k = 7
+        with WorkerPool(2) as pool:
+            pool.map(_double, [1])  # fork now, closure not in the snapshot
+            with pytest.warns(RuntimeWarning, match="falling back to one-shot"):
+                out = pool.map(lambda x: k * x, [1, 2, 3])
+        assert out == [7, 14, 21]
+        assert pool.fallback_maps == 1
+
+    def test_closed_pool_rejects_use(self):
+        pool = WorkerPool(2)
+        pool.map(_double, [1])
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.map(_double, [2])
+        assert no_leaked_children()
+
+    def test_worker_exception_propagates_and_children_join(self):
+        with pytest.raises(ZeroDivisionError, match="worker failed"):
+            with WorkerPool(2) as pool:
+                pool.map(_double, [1, 2])
+                pool.map(_explode, [0, 1])  # raises inside a forked worker
+        assert no_leaked_children()
+
+    def test_thread_fallback_matches_fork_results(self, monkeypatch):
+        monkeypatch.setattr(pool_module, "fork_available", lambda: False)
+        monkeypatch.setattr(parallel_module, "_THREAD_FALLBACK_WARNED", False)
+        rec = TraceRecorder()
+        with pytest.warns(RuntimeWarning, match="os.fork unavailable"):
+            with recording(rec), WorkerPool(3) as pool:
+                assert pool.mode == "thread"
+                out = pool.map(_double, range(10))
+        assert out == [2 * i for i in range(10)]
+        dispatches = [e for e in rec.events if isinstance(e, PoolDispatch)]
+        assert [d.mode for d in dispatches] == ["thread"]
+        assert dispatches[0].payload_bytes == 0  # threads never pickle
+
+    def test_pool_inside_pool_worker_degrades_serially(self, monkeypatch):
+        monkeypatch.setattr(parallel_module, "_IN_POOL_WORKER", True)
+        monkeypatch.setattr(parallel_module, "_NESTED_WARNED", True)
+        before = parallel_module.nested_serial_calls
+        with WorkerPool(4) as pool:
+            assert pool.mode == "serial"
+            assert pool.map(_double, [1, 2]) == [2, 4]
+        assert parallel_module.nested_serial_calls == before + 1
+
+
+class TestNestedForkMap:
+    def test_nested_fork_map_counted_and_warned_once(self, monkeypatch):
+        monkeypatch.setattr(parallel_module, "_WORKER_FN", _double)
+        monkeypatch.setattr(parallel_module, "_NESTED_WARNED", False)
+        before = parallel_module.nested_serial_calls
+        with pytest.warns(RuntimeWarning, match="nested parallel dispatch"):
+            assert fork_map(_double, [1, 2], 4) == [2, 4]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second occurrence stays quiet
+            assert fork_map(_double, [3], 4) == [6]
+            assert fork_map(_double, [4, 5], 4) == [8, 10]
+        assert parallel_module.nested_serial_calls == before + 2
+
+
+class TestShardedBitIdentity:
+    """Worker count / pool mode never change a sharded schedule."""
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_scale(ShardSpec(cells=CELLS))
+
+    def test_pool_matches_serial(self, serial):
+        result, metrics = serial
+        pooled, pooled_metrics = run_scale(ShardSpec(cells=CELLS, workers=2))
+        assert pooled.slots == result.slots
+        assert pooled.tags_read_total == result.tags_read_total
+        assert strip_timing(pooled_metrics) == strip_timing(metrics)
+        # the tentpole claim: one fork for the whole run
+        assert pooled_metrics["pool_spawns"] == 1
+        assert "pool_spawns" not in metrics  # serial records keep their shape
+
+    def test_legacy_fork_map_leg_matches_and_respawns(self, serial):
+        result, metrics = serial
+        legacy, legacy_metrics = run_scale(
+            ShardSpec(cells=CELLS, workers=2, pool=False)
+        )
+        assert legacy.slots == result.slots
+        assert strip_timing(legacy_metrics) == strip_timing(metrics)
+        # the cost the pool amortises: one spawn per parallel slot
+        assert legacy_metrics["pool_spawns"] == len(legacy.slots)
+
+    def test_thread_mode_matches_serial(self, serial, monkeypatch):
+        monkeypatch.setattr(pool_module, "fork_available", lambda: False)
+        monkeypatch.setattr(parallel_module, "_THREAD_FALLBACK_WARNED", True)
+        result, _ = serial
+        threaded, _ = run_scale(ShardSpec(cells=CELLS, workers=2), record=False)
+        assert threaded.slots == result.slots
+        assert threaded.tags_read_total == result.tags_read_total
+
+    def test_solver_exception_closes_pool_and_resets_runtime(self):
+        from repro.shard.partition import ShardPartition
+        from repro.shard.runtime import ShardRuntime
+        from repro.obs.events import get_recorder
+        from repro.util.rng import as_rng
+
+        partition = ShardPartition.from_arrays(
+            *DEPLOYMENT.materialize(), ShardSpec(cells=CELLS, workers=2)
+        )
+        runtime = ShardRuntime(partition, incremental=True)
+
+        def exploding_solver(system, unread, rng, **kwargs):
+            raise RuntimeError("solver blew up")
+
+        with pytest.raises(RuntimeError, match="solver blew up"):
+            with runtime.pool_scope(exploding_solver, False, get_recorder()):
+                runtime.solve_slot(0, exploding_solver, as_rng(0), get_recorder())
+        assert runtime._pool is None and runtime._solver is None
+        assert no_leaked_children()
+
+
+class TestReproWorkersEnv:
+    def test_cli_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert env_default_workers(3) == 3
+
+    def test_env_fills_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert env_default_workers(None) == 2
+
+    def test_unset_and_blank_mean_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert env_default_workers(None) is None
+        monkeypatch.setenv("REPRO_WORKERS", "  ")
+        assert env_default_workers(None) is None
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            env_default_workers(None)
+
+    def test_check_workers_validation(self):
+        assert check_workers("workers", " -1 ") == -1
+        assert check_workers("workers", np.int64(4)) == 4
+        for bad in (True, 2.0, "2.5", None):
+            with pytest.raises(ValueError):
+                check_workers("workers", bad)
+
+    def test_solve_cli_honours_env(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        code = main([
+            "solve", "--readers", "40", "--tags", "300", "--side", "120",
+            "--seed", "3", "--schedule", "--shard-cells", "9",
+        ])
+        assert code == 0
+        assert "covering schedule" in capsys.readouterr().out
+
+
+@pytest.mark.scale_smoke
+def test_scale_smoke_pool_honours_repro_workers():
+    """The CI leg runs this under ``REPRO_WORKERS=2``: the env-selected
+    worker count must leave the schedule bit-identical to serial, and a
+    parallel run must show exactly one pool spawn."""
+    workers = env_default_workers(None)
+    serial_result, _ = run_scale(ShardSpec(cells=CELLS), record=False)
+    result, metrics = run_scale(ShardSpec(cells=CELLS, workers=workers))
+    assert result.slots == serial_result.slots
+    assert result.tags_read_total == serial_result.tags_read_total
+    if workers is not None and workers > 1 and os.cpu_count() is not None:
+        assert metrics["pool_spawns"] == 1

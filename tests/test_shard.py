@@ -25,13 +25,19 @@ from repro.shard import (
     interaction_radius,
 )
 
-#: Metric fields that vary run to run by construction (wall-clock noise).
+#: Metric fields that vary run to run by construction: wall-clock noise,
+#: plus the parallel-tier dispatch counters (present only on parallel runs
+#: — spawn counts and payload bytes are telemetry about *how* the work was
+#: dispatched, not *what* was computed).
 TIMING = (
     "solver_wall_clock_s",
     "solver_seconds_by_name",
     "stage_seconds_by_name",
     "peak_tracemalloc_kb",
     "peak_rss_kb",
+    "pool_spawns",
+    "pool_tasks",
+    "pool_payload_bytes",
 )
 
 
