@@ -16,7 +16,14 @@ solve one instance (``solve``) and regenerate an evaluation figure
 ``bench`` runs the pinned-seed benchmark matrix under tracing and appends
 the runs to ``BENCH_oneshot.json`` / ``BENCH_mcs.json`` (see
 ``docs/observability.md``); ``chaos`` sweeps injected fault rates and
-appends to ``BENCH_chaos.json`` (see ``docs/robustness.md``).
+appends to ``BENCH_chaos.json`` (see ``docs/robustness.md``), and ``chaos
+--scale`` runs the same grid through the sharded scale tier (faults
+composed with ``shard=``; ``s_``-prefixed labels in the same file).
+
+``bench``, ``chaos`` and ``trace run`` shut down gracefully on
+SIGINT/SIGTERM: the command unwinds through its cleanup blocks (JSONL
+sinks flushed, worker pools terminated, BENCH merges atomic per record),
+prints a partial-run marker to stderr and exits ``128 + signum``.
 
 ``bench compare`` audits the appended BENCH trajectories for work-counter
 drift and wall-clock regressions, exiting non-zero on drift — the CI gate
@@ -45,7 +52,10 @@ a Chrome trace-event JSON (openable in Perfetto / ``chrome://tracing``);
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
+from contextlib import contextmanager
 from typing import List, Optional
 
 from repro.baselines.colorwave import colorwave_covering_schedule
@@ -57,6 +67,64 @@ from repro.experiments.reporting import format_series_table
 from repro.perf.backends import resolve_backend, use_backend
 from repro.perf.parallel import env_default_workers
 from repro.shard.spec import ShardSpec
+
+
+class _SignalInterrupt(Exception):
+    """Raised by the graceful-shutdown handlers so long-running commands
+    unwind through their ``with``/``finally`` blocks (JSONL sinks flushed,
+    worker pools closed) instead of dying mid-write."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"interrupted by signal {signum}")
+        self.signum = signum
+
+
+@contextmanager
+def _graceful_signals():
+    """Trap SIGINT/SIGTERM into :class:`_SignalInterrupt` for the duration
+    of a long-running command; restores the previous handlers on exit.
+    No-op off the main thread (signal handlers can only be installed
+    there) and for signals the platform refuses to override."""
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum, frame):
+        raise _SignalInterrupt(signum)
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _raise)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            pass
+    try:
+        yield
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+
+def _run_guarded(fn, args: argparse.Namespace) -> int:
+    """Run a long-running command under :func:`_graceful_signals`: on
+    SIGINT/SIGTERM the command unwinds cleanly (sinks flushed, pools
+    closed, BENCH merges are atomic per record), a partial-run marker goes
+    to stderr, and the conventional ``128 + signum`` code is returned."""
+    try:
+        with _graceful_signals():
+            return fn(args)
+    except _SignalInterrupt as interrupt:
+        try:
+            name = signal.Signals(interrupt.signum).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            name = str(interrupt.signum)
+        print(
+            f"partial run: interrupted by {name}; outputs flushed up to "
+            f"the last completed write, BENCH files untouched by the "
+            f"aborted sweep",
+            file=sys.stderr,
+        )
+        return 128 + interrupt.signum
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -262,7 +330,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sweep injected failure/miss rates across solvers and append "
         "to BENCH_chaos.json (docs/robustness.md)",
     )
-    chaos.add_argument("--solvers", nargs="+", default=["ptas", "ghc"])
+    chaos.add_argument("--solvers", nargs="+", default=None)
     chaos.add_argument(
         "--fail-rates", type=float, nargs="+", default=[0.0, 0.05, 0.1, 0.2],
         dest="fail_rates",
@@ -273,12 +341,27 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="miss_rates",
         help="per-read miss probabilities to inject",
     )
-    chaos.add_argument("--readers", type=int, default=16)
-    chaos.add_argument("--tags", type=int, default=200)
-    chaos.add_argument("--side", type=float, default=50.0)
-    chaos.add_argument("--lambda-R", type=float, default=10.0, dest="lambda_R")
-    chaos.add_argument("--lambda-r", type=float, default=5.0, dest="lambda_r")
-    chaos.add_argument("--seed", type=int, default=11)
+    chaos.add_argument(
+        "--scale",
+        action="store_true",
+        help="run the grid through the sharded scale tier instead "
+        "(faults composed with shard=ShardSpec; s_-prefixed labels; "
+        "see docs/scale.md and docs/robustness.md)",
+    )
+    chaos.add_argument(
+        "--shard-cells",
+        type=int,
+        default=None,
+        dest="shard_cells",
+        help="with --scale: target cell count of the sharded points "
+        "(default 16)",
+    )
+    chaos.add_argument("--readers", type=int, default=None)
+    chaos.add_argument("--tags", type=int, default=None)
+    chaos.add_argument("--side", type=float, default=None)
+    chaos.add_argument("--lambda-R", type=float, default=None, dest="lambda_R")
+    chaos.add_argument("--lambda-r", type=float, default=None, dest="lambda_r")
+    chaos.add_argument("--seed", type=int, default=None)
     chaos.add_argument(
         "--fault-seed", type=int, default=97, dest="fault_seed",
         help="entropy of the injected fault worlds (schedules stay pinned "
@@ -685,34 +768,71 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.experiments.chaos import (
+        DEFAULT_SCENARIO,
+        DEFAULT_SOLVERS,
+        SCALE_SCENARIO,
+        SCALE_SHARD_CELLS,
+        SCALE_SOLVERS,
         format_chaos_table,
         run_chaos_sweep,
+        run_scale_chaos_sweep,
         write_chaos_files,
     )
 
-    scenario_kwargs = dict(
-        num_readers=args.readers,
-        num_tags=args.tags,
-        side=args.side,
-        lambda_interference=args.lambda_R,
-        lambda_interrogation=args.lambda_r,
-        seed=args.seed,
+    if args.shard_cells is not None and not args.scale:
+        print("error: --shard-cells requires --scale", file=sys.stderr)
+        return 2
+    # scenario flags default per tier: the small chaos scenario, or the
+    # multi-cell scale one under --scale
+    base = SCALE_SCENARIO if args.scale else DEFAULT_SCENARIO
+    solvers = list(
+        args.solvers
+        if args.solvers is not None
+        else (SCALE_SOLVERS if args.scale else DEFAULT_SOLVERS)
     )
-    grid = len(args.solvers) * len(args.fail_rates) * len(args.miss_rates)
+    scenario_kwargs = dict(
+        num_readers=args.readers if args.readers is not None
+        else base["num_readers"],
+        num_tags=args.tags if args.tags is not None else base["num_tags"],
+        side=args.side if args.side is not None else base["side"],
+        lambda_interference=args.lambda_R if args.lambda_R is not None
+        else base["lambda_interference"],
+        lambda_interrogation=args.lambda_r if args.lambda_r is not None
+        else base["lambda_interrogation"],
+        seed=args.seed if args.seed is not None else base["seed"],
+    )
+    grid = len(solvers) * len(args.fail_rates) * len(args.miss_rates)
+    tier = "scale chaos sweep (sharded)" if args.scale else "chaos sweep"
     print(
-        f"chaos sweep: {len(args.solvers)} solvers x "
+        f"{tier}: {len(solvers)} solvers x "
         f"{len(args.fail_rates)} fail rates x {len(args.miss_rates)} miss "
         f"rates = {grid} points (fault seed {args.fault_seed})"
     )
-    records = run_chaos_sweep(
-        solvers=args.solvers,
-        fail_rates=args.fail_rates,
-        miss_rates=args.miss_rates,
-        scenario_kwargs=scenario_kwargs,
-        fault_seed=args.fault_seed,
-        max_slots=args.max_slots,
-        workers=env_default_workers(args.workers),
-    )
+    if args.scale:
+        records = run_scale_chaos_sweep(
+            solvers=solvers,
+            fail_rates=args.fail_rates,
+            miss_rates=args.miss_rates,
+            scenario_kwargs=scenario_kwargs,
+            fault_seed=args.fault_seed,
+            max_slots=args.max_slots,
+            shard_cells=(
+                args.shard_cells
+                if args.shard_cells is not None
+                else SCALE_SHARD_CELLS
+            ),
+            workers=env_default_workers(args.workers),
+        )
+    else:
+        records = run_chaos_sweep(
+            solvers=solvers,
+            fail_rates=args.fail_rates,
+            miss_rates=args.miss_rates,
+            scenario_kwargs=scenario_kwargs,
+            fault_seed=args.fault_seed,
+            max_slots=args.max_slots,
+            workers=env_default_workers(args.workers),
+        )
     print(format_chaos_table(records))
     if args.dry_run:
         print("dry run: BENCH_chaos.json not written")
@@ -818,9 +938,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "bench":
-        return _cmd_bench(args)
+        return _run_guarded(_cmd_bench, args)
     if args.command == "chaos":
-        return _cmd_chaos(args)
+        return _run_guarded(_cmd_chaos, args)
     if args.command == "report":
         from repro.experiments.report import generate_report
 
@@ -841,7 +961,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "trace":
         if args.trace_command == "run":
-            return _cmd_trace_run(args)
+            return _run_guarded(_cmd_trace_run, args)
         return _cmd_trace_convert(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 

@@ -31,6 +31,15 @@ deadlines degrading to cheaper policies instead of stalling, and a stall
 guard terminating with :attr:`ScheduleOutcome.stalled` when no progress is
 possible.  With ``faults=None`` the loop is bit-identical to the historical
 default path.
+
+Faults compose with the scale tier: passing both ``faults=`` and ``shard=``
+runs the fault world through the sharded engine — per-cell degraded
+subsystems over unsuspected readers, suspicion masks shipped inside the
+deterministic per-cell payloads (worker count still cannot change results),
+and confirmed permanent crashes applied as an incremental partition refresh
+(``shard.refresh`` span) that re-buckets orphaned tags and rebuilds only
+the dirtied cells.  Trivial partitions route through the unsharded fault
+branch, keeping ``cells == 1`` bit-identical to ``shard=None``.
 """
 
 from __future__ import annotations
@@ -291,6 +300,18 @@ class _FaultRuntime:
             return None
         return int(np.argmax(counts))
 
+    def confirmed_permanent(
+        self, slot: int, exclude: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Ids of readers both heartbeat-*suspected* and inside a begun
+        :class:`~repro.faults.plan.PermanentCrash` — membership changes the
+        sharded driver may commit to a partition refresh.  *exclude* masks
+        readers an earlier refresh already retired."""
+        mask = self.injector.permanent_down_mask(slot) & self.suspected
+        if exclude is not None:
+            mask = mask & ~np.asarray(exclude, dtype=bool)
+        return np.flatnonzero(mask)
+
     # -- degradation ladder --------------------------------------------
     @property
     def use_singleton(self) -> bool:
@@ -457,9 +478,11 @@ def greedy_covering_schedule(
         deployment collapsing to one cell) is bit-identical to the
         unsharded driver.  Well-covered extraction, the singleton fallback
         and retirement still run on the full system, so coverage guarantees
-        are unchanged.  Mutually exclusive with ``faults``/``policy`` (the
-        fault world's reduced candidate views do not compose with cell
-        subsystems).
+        are unchanged.  Composes with ``faults``/``policy``: affected cells
+        solve degraded subsystems over their unsuspected local readers, and
+        confirmed permanent crashes trigger an incremental partition
+        refresh when ``policy.partition_refresh`` is on (``docs/scale.md``
+        and ``docs/robustness.md``).
     """
     if read_mode not in ("all", "single"):
         raise ValueError(f"read_mode must be 'all' or 'single', got {read_mode!r}")
@@ -482,11 +505,6 @@ def greedy_covering_schedule(
 
     shard_rt: Optional[ShardRuntime] = None
     if shard is not None:
-        if fault_rt is not None:
-            raise ValueError(
-                "sharded solves do not compose with fault injection; "
-                "pass shard=None or faults=None"
-            )
         shard_rt = ShardRuntime(
             ShardPartition.from_system(system, shard),
             initial_unread=state.unread_mask & coverable,
@@ -509,6 +527,14 @@ def greedy_covering_schedule(
     slots: List[SlotRecord] = []
     total_read = 0
     stall_run = 0
+    # combined tier: fault world executed through the sharded engine; a
+    # trivial partition instead routes through the unsharded fault branch
+    # below, keeping cells == 1 bit-identical to shard=None
+    shard_fault = (
+        fault_rt is not None
+        and shard_rt is not None
+        and not shard_rt.partition.is_trivial
+    )
     outcome: Optional[ScheduleOutcome] = None
     # one persistent worker pool for every slot of a sharded run (no-op for
     # serial/trivial/pool-disabled specs; see ShardRuntime.pool_scope)
@@ -543,10 +569,30 @@ def greedy_covering_schedule(
                 with span("mcs.solve", slot=len(slots)):
                     if fault_rt is not None:
                         fault_rt.begin_slot(len(slots), rec)
-                        active, solver_meta = fault_rt.propose_active(
-                            len(slots), solver, solver_takes_context, unread,
-                            rng, context, rec
-                        )
+                        if shard_fault:
+                            if fault_rt.policy.partition_refresh:
+                                dead = fault_rt.confirmed_permanent(
+                                    len(slots),
+                                    exclude=shard_rt.retired_readers,
+                                )
+                                if len(dead):
+                                    with span(
+                                        "shard.refresh",
+                                        slot=len(slots),
+                                        readers=int(len(dead)),
+                                    ):
+                                        shard_rt.refresh(dead)
+                            active, solver_meta = shard_rt.solve_slot(
+                                len(slots), solver, rng, rec,
+                                takes_context=solver_takes_context,
+                                context=context, unread=unread,
+                                suspected=fault_rt.suspected,
+                            )
+                        else:
+                            active, solver_meta = fault_rt.propose_active(
+                                len(slots), solver, solver_takes_context,
+                                unread, rng, context, rec
+                            )
                         active = fault_rt.drop_failed(active)
                         well = system.well_covered_tags(active, unread)
                         if len(well) == 0:

@@ -18,6 +18,13 @@ fault counters (``readers_failed``, ``reads_missed``, …) land in the record
 alongside the classic work counters, and the records append to
 ``BENCH_chaos.json`` through the same versioned schema as the other
 families.  The CLI entry point is ``rfid-sched chaos``.
+
+:func:`run_scale_chaos_sweep` is the scale-tier leg (``rfid-sched chaos
+--scale``): the same grid run through the *sharded* driver
+(``shard=ShardSpec(...)`` composed with the fault plan), anchored by a
+fault-free sharded baseline.  Its records carry ``s_``-prefixed labels and
+append to the same ``BENCH_chaos.json``; the pinned counters are worker-
+count-independent, so the drift gate covers the sharded fault world too.
 """
 
 from __future__ import annotations
@@ -50,6 +57,21 @@ DEFAULT_FAIL_RATES: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.2)
 DEFAULT_MISS_RATES: Tuple[float, ...] = (0.0, 0.1)
 DEFAULT_SOLVERS: Tuple[str, ...] = ("ptas", "ghc")
 
+#: Scenario of the scale-tier chaos leg: big enough that the partition is
+#: genuinely multi-cell (16 cells at side 160), small enough for CI.
+SCALE_SCENARIO = dict(
+    num_readers=120,
+    num_tags=1500,
+    side=160.0,
+    lambda_interference=10.0,
+    lambda_interrogation=5.0,
+    seed=7,
+)
+
+#: Target cell count and solvers of the scale chaos leg.
+SCALE_SHARD_CELLS = 16
+SCALE_SOLVERS: Tuple[str, ...] = ("ghc",)
+
 
 def _run_point(
     system,
@@ -57,9 +79,11 @@ def _run_point(
     schedule_seed: int,
     plan: Optional[FaultPlan],
     max_slots: int,
+    shard=None,
 ):
     """One schedule under *plan* (None = fault-free), traced; returns
-    ``(ScheduleResult, metrics, wall_clock_s)``."""
+    ``(ScheduleResult, metrics, wall_clock_s)``.  *shard* routes the run
+    through the sharded driver (scale-tier leg)."""
     from repro.core.mcs import greedy_covering_schedule
     from repro.core.oneshot import get_solver
     from repro.experiments.figures import SOLVER_KWARGS
@@ -69,7 +93,8 @@ def _run_point(
     t0 = time.perf_counter()
     with recording(collector):
         result = greedy_covering_schedule(
-            system, solver, seed=schedule_seed, faults=plan, max_slots=max_slots
+            system, solver, seed=schedule_seed, faults=plan,
+            max_slots=max_slots, shard=shard,
         )
     wall = time.perf_counter() - t0
     return result, collector.summary(), wall
@@ -166,6 +191,79 @@ def run_chaos_sweep(
                         wall_clock_s=wall,
                     )
                 )
+    return records
+
+
+def run_scale_chaos_sweep(
+    solvers: Sequence[str] = SCALE_SOLVERS,
+    fail_rates: Sequence[float] = DEFAULT_FAIL_RATES,
+    miss_rates: Sequence[float] = DEFAULT_MISS_RATES,
+    scenario_kwargs: Optional[dict] = None,
+    fault_seed: int = 97,
+    max_slots: int = 2048,
+    shard_cells: int = SCALE_SHARD_CELLS,
+    workers: Optional[int] = None,
+) -> List[dict]:
+    """Run the chaos grid through the *sharded* driver; returns schema-valid
+    ``bench="chaos"`` records labelled ``s_<solver>_f<fail>_m<miss>``.
+
+    Each point composes ``faults=FaultPlan.uniform_flaky(...)`` with
+    ``shard=ShardSpec(cells=shard_cells, workers=workers)``; the fault-free
+    *sharded* baseline anchors every slowdown, so the ratio prices the fault
+    world, not the sharding.  Grid points run serially in the parent — the
+    parallelism lives *inside* each sharded run (per-cell worker pool), and
+    the pinned counters are worker-count-independent, so equal arguments
+    reproduce equal records on any machine (up to wall-clock).
+    """
+    from repro.deployment.scenario import Scenario
+    from repro.shard.spec import ShardSpec
+
+    scenario = Scenario(**(scenario_kwargs or SCALE_SCENARIO))
+    system = scenario.build()
+    coverable = int(system.covered_by_any().sum())
+    pairs = [(f, m) for f in fail_rates for m in miss_rates]
+    spec = ShardSpec(cells=shard_cells, workers=workers)
+
+    records: List[dict] = []
+    for solver_name in solvers:
+        baseline, _, _ = _run_point(
+            system, solver_name, scenario.seed, None, max_slots, shard=spec
+        )
+        baseline_slots = max(1, baseline.size)
+        for fail_rate, miss_rate in pairs:
+            plan = FaultPlan.uniform_flaky(
+                system.num_readers,
+                fail_rate,
+                miss_rate=miss_rate,
+                seed=fault_seed,
+            )
+            result, metrics, wall = _run_point(
+                system, solver_name, scenario.seed, plan, max_slots,
+                shard=spec,
+            )
+            metrics["slots_to_completion"] = int(result.size)
+            metrics["complete"] = bool(result.complete)
+            metrics["outcome"] = result.outcome.value
+            metrics["coverage_fraction"] = (
+                result.tags_read_total / coverable if coverable else 1.0
+            )
+            metrics["slowdown"] = result.size / baseline_slots
+            metrics["fault_fail_rate"] = float(fail_rate)
+            metrics["fault_miss_rate"] = float(miss_rate)
+            records.append(
+                run_record(
+                    bench="chaos",
+                    label=f"s_{solver_name}_f{fail_rate:g}_m{miss_rate:g}",
+                    solver=solver_name,
+                    scenario=dict(
+                        scenario_kwargs or SCALE_SCENARIO,
+                        fault_seed=fault_seed,
+                        shard_cells=shard_cells,
+                    ),
+                    metrics=metrics,
+                    wall_clock_s=wall,
+                )
+            )
     return records
 
 

@@ -18,7 +18,11 @@ in :mod:`repro.core.mcs`; the reproducible degradation experiment is
 :mod:`repro.experiments.chaos` / ``rfid-sched chaos``.
 """
 
-from repro.faults.injector import FaultInjector, SlotFaultRecord
+from repro.faults.injector import (
+    FaultInjector,
+    HeartbeatMonitor,
+    SlotFaultRecord,
+)
 from repro.faults.plan import (
     FaultPlan,
     FlakyActivation,
@@ -32,6 +36,7 @@ __all__ = [
     "FaultPlan",
     "FaultPolicy",
     "FaultInjector",
+    "HeartbeatMonitor",
     "SlotFaultRecord",
     "PermanentCrash",
     "TransientCrash",

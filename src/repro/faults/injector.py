@@ -21,11 +21,11 @@ the model layer and the MCS driver can use it without cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.faults.plan import FaultPlan, FlakyActivation
+from repro.faults.plan import FaultPlan, FlakyActivation, PermanentCrash
 
 
 @dataclass(frozen=True)
@@ -111,6 +111,21 @@ class FaultInjector:
         self._note(slot, failed_readers=tuple(np.flatnonzero(failed).tolist()))
         return failed
 
+    def permanent_down_mask(self, slot: int) -> np.ndarray:
+        """Read-only mask of readers inside a :class:`PermanentCrash` that
+        has begun by *slot* — the subset of :meth:`failed_mask` that can
+        never recover.  A pure function of the plan (no draws), used by the
+        sharded driver to *confirm* a suspected crash before committing to
+        an incremental partition refresh: transient and flaky outages must
+        keep their cells, permanent ones must hand their orphaned tags to a
+        surviving owner."""
+        mask = np.zeros(self._n, dtype=bool)
+        for f in self._deterministic:
+            if isinstance(f, PermanentCrash) and f.is_down(slot):
+                mask[f.reader] = True
+        mask.setflags(write=False)
+        return mask
+
     def missed_tags(self, slot: int, tags) -> np.ndarray:
         """The subset of *tags* whose reads are lost in *slot*.
 
@@ -157,3 +172,67 @@ class FaultInjector:
         return tuple(
             (r.slot, r.failed_readers, r.missed_tags) for r in self.trace
         )
+
+
+class HeartbeatMonitor:
+    """Heartbeat suspicion over an injector's per-slot failure draws.
+
+    A reader that fails ``heartbeat_timeout`` consecutive slots becomes
+    *suspected* and should be excluded from candidate sets; suspicion lifts
+    the first slot the reader answers again.  This is the bookkeeping shared
+    by the fault-tolerant MCS driver and the sharded scale driver — pure
+    state over the injector's draws, no event emission (keeping this module
+    below the observability layer); callers emit
+    :class:`~repro.obs.events.ReaderFailed` for the newly-suspected ids
+    returned from :meth:`begin_slot`.
+
+    Attributes
+    ----------
+    failed:
+        This slot's read-only failure mask (set by :meth:`begin_slot`).
+    suspected:
+        Current suspicion mask — ``consecutive_misses >= heartbeat_timeout``.
+    """
+
+    def __init__(self, injector: FaultInjector, heartbeat_timeout: int) -> None:
+        if heartbeat_timeout < 1:
+            raise ValueError(
+                f"heartbeat_timeout must be >= 1, got {heartbeat_timeout}"
+            )
+        self.injector = injector
+        self.timeout = int(heartbeat_timeout)
+        n = injector._n
+        self._consec = np.zeros(n, dtype=np.int64)
+        self.suspected = np.zeros(n, dtype=bool)
+        self.failed = np.zeros(n, dtype=bool)
+
+    @property
+    def consecutive_misses(self) -> np.ndarray:
+        """Per-reader count of consecutive failed slots (0 = answering)."""
+        return self._consec
+
+    def begin_slot(self, slot: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Fold *slot*'s failure draw into the suspicion state.
+
+        Returns ``(failed, newly_suspected)``: the slot's failure mask and
+        the ids whose suspicion *started* this slot (for event emission).
+        """
+        failed = self.injector.failed_mask(slot)
+        self.failed = failed
+        self._consec = np.where(failed, self._consec + 1, 0)
+        suspected_now = self._consec >= self.timeout
+        newly = np.flatnonzero(suspected_now & ~self.suspected)
+        self.suspected = suspected_now
+        return failed, newly
+
+    def confirmed_permanent(
+        self, slot: int, exclude: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Ids of readers both *suspected* (heartbeat-confirmed) and inside
+        a begun :class:`~repro.faults.plan.PermanentCrash` — the membership
+        changes that justify a partition refresh.  *exclude* masks readers
+        already retired by an earlier refresh."""
+        mask = self.injector.permanent_down_mask(slot) & self.suspected
+        if exclude is not None:
+            mask = mask & ~np.asarray(exclude, dtype=bool)
+        return np.flatnonzero(mask)

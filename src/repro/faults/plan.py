@@ -24,7 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Tuple, Union
 
-from repro.util.validation import check_loss_rate, check_nonnegative_int
+from repro.util.validation import (
+    check_loss_rate,
+    check_nonnegative_int,
+    check_probability,
+)
 
 
 @dataclass(frozen=True)
@@ -93,7 +97,10 @@ class FaultPlan:
     miss_rate:
         Probability that an individual tag read is lost (false negative).
         Missed tags stay unread and are retried by the ACK-based retirement
-        rule in the MCS driver.
+        rule in the MCS driver.  The degenerate ``miss_rate=1.0`` (every
+        read lost) is legal: the driver makes zero progress every slot and
+        the policy's ``max_stall_slots`` guard terminates the schedule
+        cleanly instead of retrying forever.
     seed:
         Entropy for every stochastic process in the plan.  Two injectors
         built from equal plans produce byte-identical fault traces.
@@ -112,7 +119,10 @@ class FaultPlan:
                     f"TransientCrash or FlakyActivation, got {f!r}"
                 )
         object.__setattr__(self, "reader_faults", faults)
-        check_loss_rate("miss_rate", self.miss_rate)
+        # A full [0, 1] probability: miss_rate=1.0 is the "all reads lost"
+        # edge, bounded by the driver's stall guard (unlike p_fail, where
+        # 1.0 would just be PermanentCrash in disguise).
+        check_probability("miss_rate", self.miss_rate)
         check_nonnegative_int("seed", self.seed)
 
     @property

@@ -17,6 +17,7 @@ from repro.obs.events import (
     DistsimRound,
     LinkLayerSession,
     PoolDispatch,
+    PoolRecovery,
     ReaderFailed,
     ReadMissed,
     Recorder,
@@ -71,9 +72,13 @@ class RunCollector(Recorder):
         ``pool_tasks``, ``pool_payload_bytes``), summed over dispatches;
         each :class:`~repro.obs.events.PoolDispatch` also folds its
         ``dispatch_s`` / ``collect_s`` into :attr:`stage_times` under
-        ``"pool.dispatch"`` / ``"pool.collect"``.  Exported by
-        :meth:`summary` only when the parallel tier actually dispatched, so
-        serial records keep their historical shape.
+        ``"pool.dispatch"`` / ``"pool.collect"``.  The supervision tallies
+        (``pool_respawns``: fresh pools forked after a worker death or
+        deadline, ``pool_deadline_hits``: dispatches that exceeded the
+        per-dispatch deadline) come from
+        :class:`~repro.obs.events.PoolRecovery` events.  Exported by
+        :meth:`summary` only when the parallel tier actually dispatched or
+        recovered, so serial records keep their historical shape.
     ignored_events:
         Count of events outside the :data:`~repro.obs.events.EVENT_TYPES`
         taxonomy that this collector received and skipped.  Never exported
@@ -118,6 +123,8 @@ class RunCollector(Recorder):
             "pool_spawns": 0,
             "pool_tasks": 0,
             "pool_payload_bytes": 0,
+            "pool_respawns": 0,
+            "pool_deadline_hits": 0,
         }
         self._pool_events_seen = False
         self.solver_times = Stopwatch()
@@ -193,6 +200,12 @@ class RunCollector(Recorder):
             self._pool_events_seen = True
             self.stage_times.record("pool.dispatch", event.dispatch_s)
             self.stage_times.record("pool.collect", event.collect_s)
+        elif isinstance(event, PoolRecovery):
+            if event.respawned:
+                self.pool_counters["pool_respawns"] += 1
+            if event.reason == "deadline":
+                self.pool_counters["pool_deadline_hits"] += 1
+            self._pool_events_seen = True
         elif isinstance(event, ScheduleDone):
             self.schedule_complete = event.complete
         elif isinstance(event, SweepPoint):

@@ -217,6 +217,27 @@ class PoolDispatch:
 
 
 @dataclass(frozen=True)
+class PoolRecovery:
+    """The supervised worker pool recovered from a failed dispatch in
+    *mode* (currently always ``"fork"`` — thread and serial maps run in the
+    parent and need no supervision).  *reason* says what tripped:
+    ``"worker-death"`` (a forked worker exited, detected by exitcode/pid
+    reaping) or ``"deadline"`` (the dispatch exceeded the pool's
+    per-dispatch deadline).  *respawned* is True when a fresh worker pool
+    was forked for the retry (bounded by the pool's respawn budget, with
+    exponential backoff); *serial_replay* is True when the failed payload
+    slice was instead replayed deterministically in the parent — the
+    last-resort path once the budget is exhausted.  *tasks* is the size of
+    the failed payload slice."""
+
+    mode: str
+    reason: str
+    respawned: bool
+    serial_replay: bool
+    tasks: int
+
+
+@dataclass(frozen=True)
 class SweepPoint:
     """One replicated sweep measurement: ``measure(value, seed)`` at sweep
     parameter *param* took *seconds*."""
@@ -272,6 +293,7 @@ EVENT_TYPES: Tuple[type, ...] = (
     ScheduleDegraded,
     ShardMerge,
     PoolDispatch,
+    PoolRecovery,
     SweepPoint,
     SpanStart,
     SpanEnd,

@@ -89,6 +89,8 @@ METRIC_FIELDS: Dict[str, str] = {
     "pool_spawns": "worker pools brought up (persistent pool: 1 per run; per-call fork_map: 1 per parallel dispatch)",
     "pool_tasks": "payloads shipped through parallel dispatches, summed",
     "pool_payload_bytes": "pickled task bytes shipped to workers, summed over dispatches",
+    "pool_respawns": "fresh worker pools forked by the supervisor after a worker death or deadline hit",
+    "pool_deadline_hits": "parallel dispatches that exceeded the pool's per-dispatch deadline",
     "shard_cells": "live spatial cells solved, summed over slots",
     "shard_halo_readers": "advisory halo readers shipped to cell solves, summed over slots",
     "shard_boundary_repairs": "cross-cell RTc conflicts repaired by the merge pass",

@@ -71,6 +71,9 @@ SPAN_NAMES: Dict[str, str] = {
     "events nest under it",
     "shard.merge": "the slot's boundary-reconciliation pass merging "
     "per-cell activations (shard.runtime.ShardRuntime.solve_slot)",
+    "shard.refresh": "one incremental partition refresh after confirmed "
+    "permanent reader crashes: orphaned tags re-bucketed and dirtied cells "
+    "rebuilt (shard.runtime.ShardRuntime.refresh)",
     "pool.dispatch": "one deterministic map through the persistent worker "
     "pool (perf.pool.WorkerPool.map): task submission plus the wait for "
     "payload-order results",

@@ -38,27 +38,49 @@ thread pool after the once-per-process :class:`RuntimeWarning`, and both
 paths preserve the payload-order merge, so worker count and pool mode never
 change results.
 
+Supervision
+-----------
+
+A forked worker that is SIGKILLed (OOM killer, operator error) or wedges
+forever would otherwise hang the dispatch: ``multiprocessing.Pool`` quietly
+respawns the worker but the in-flight chunk is lost and ``get()`` never
+returns.  Fork-mode dispatches are therefore *supervised*: the result wait
+polls, reaping worker exitcodes (and pid churn from the pool's own
+maintenance thread) and enforcing an optional per-dispatch deadline
+(``dispatch_deadline_s``, default from ``REPRO_POOL_DEADLINE`` seconds).
+On a detected death or deadline hit the broken workers are torn down and
+the whole payload slice is retried on a freshly forked pool — bounded by
+``max_respawns`` with exponential backoff — and once the respawn budget is
+spent, replayed serially in the parent as a last resort.  Either way the
+dispatch returns the same payload-order results (cell solves are
+deterministic functions of their payloads), so a crashed worker degrades a
+run instead of hanging or failing it.  Thread and serial maps run in the
+parent and are not supervised.
+
 Telemetry: every non-serial dispatch runs under a ``pool.dispatch`` span
 and emits one :class:`~repro.obs.events.PoolDispatch` event
 (``pool_spawns`` / ``pool_tasks`` / ``pool_payload_bytes`` counters plus
 ``pool.dispatch`` / ``pool.collect`` stage timings in the exported
 metrics).  A persistent pool shows ``pool_spawns == 1`` per run where the
 per-slot ``fork_map`` path shows one spawn per parallel slot — the
-amortisation is visible in the BENCH records.  See ``docs/performance.md``
-and ``docs/observability.md``.
+amortisation is visible in the BENCH records.  Every supervised recovery
+additionally emits a :class:`~repro.obs.events.PoolRecovery` event
+(``pool_respawns`` / ``pool_deadline_hits`` counters).  See
+``docs/performance.md`` and ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import sys
 import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Set
 
-from repro.obs.events import PoolDispatch, get_recorder
+from repro.obs.events import PoolDispatch, PoolRecovery, get_recorder
 from repro.obs.spans import span
 from repro.perf import parallel
 from repro.perf.parallel import (
@@ -89,6 +111,34 @@ def _pool_invoke(task: tuple) -> tuple:
     return index, target(payload)
 
 
+#: Result-wait poll granularity of the supervised fork dispatch, seconds.
+#: Coarse enough to be free (one ``Condition.wait`` wake-up per interval),
+#: fine enough that a dead worker is noticed promptly.
+_SUPERVISE_POLL_S = 0.1
+
+
+def _env_dispatch_deadline() -> Optional[float]:
+    """Per-dispatch deadline from ``REPRO_POOL_DEADLINE`` (seconds), or
+    ``None`` when unset/invalid — the supervisor then watches worker health
+    only."""
+    raw = os.environ.get("REPRO_POOL_DEADLINE", "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+class _DispatchFailure(Exception):
+    """Internal: a supervised dispatch lost its workers or its deadline."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
 def _ref_picklable(fn: Callable) -> bool:
     """True when *fn* pickles by reference (a module-level function), so it
     can be shipped to already-forked workers without registration."""
@@ -110,6 +160,17 @@ class WorkerPool:
         convention (``None``/``0`` serial, negative = CPU count).  Resolved
         once at construction; ``<= 1`` makes every :meth:`map` a plain
         in-process loop and never starts anything.
+    dispatch_deadline_s:
+        Optional per-dispatch wall-clock deadline for supervised fork maps;
+        a dispatch exceeding it is treated like a worker failure (torn
+        down, retried on a fresh pool, last-resort serial replay).
+        ``None`` (the default) reads ``REPRO_POOL_DEADLINE`` (seconds) and
+        falls back to health-only supervision when that is unset.
+    max_respawns:
+        Total fresh pools the supervisor may fork over this pool's life
+        before it degrades to serial maps permanently.
+    respawn_backoff_s:
+        Base of the exponential backoff slept before each respawn.
 
     Usage::
 
@@ -123,7 +184,13 @@ class WorkerPool:
     the workers, so solver exceptions can never leak children.
     """
 
-    def __init__(self, workers: Optional[int]) -> None:
+    def __init__(
+        self,
+        workers: Optional[int],
+        dispatch_deadline_s: Optional[float] = None,
+        max_respawns: int = 2,
+        respawn_backoff_s: float = 0.05,
+    ) -> None:
         self._workers = resolve_workers(workers)
         self._mode = (
             "serial"
@@ -144,6 +211,26 @@ class WorkerPool:
         #: reference.
         self.fallback_maps = 0
         self._fallback_warned = False
+        if dispatch_deadline_s is not None and dispatch_deadline_s <= 0:
+            raise ValueError(
+                f"dispatch_deadline_s must be positive, got {dispatch_deadline_s}"
+            )
+        self._deadline_s = (
+            dispatch_deadline_s
+            if dispatch_deadline_s is not None
+            else _env_dispatch_deadline()
+        )
+        self._max_respawns = max(0, int(max_respawns))
+        self._backoff_s = max(0.0, float(respawn_backoff_s))
+        self._worker_pids: Set[int] = set()
+        #: Fresh pools forked by the supervisor after a worker death or
+        #: deadline hit (bounded by ``max_respawns``).
+        self.respawns = 0
+        #: Supervised dispatches that exceeded ``dispatch_deadline_s``.
+        self.deadline_hits = 0
+        #: True once the respawn budget is spent: every later map runs
+        #: serially in the parent (deterministic, just no longer parallel).
+        self._broken = False
 
     # ------------------------------------------------------------------
     @property
@@ -205,6 +292,8 @@ class WorkerPool:
                 )
             finally:
                 _WORKER_TASKS = None
+            procs = getattr(self._procs, "_pool", None) or ()
+            self._worker_pids = {p.pid for p in procs}
         self._spawn_pending += 1
         self._spawn_seconds += time.perf_counter() - t0
 
@@ -220,7 +309,7 @@ class WorkerPool:
         payloads = list(payloads)
         if not payloads:
             return []
-        if self._mode == "serial":
+        if self._mode == "serial" or self._broken:
             return [fn(p) for p in payloads]
         handle = self._handle_of(fn)
         if handle is None and not self.started and self._mode == "fork":
@@ -248,9 +337,9 @@ class WorkerPool:
             return fork_map(fn, payloads, self._workers)
         self.start()
         rec = get_recorder()
-        spawned, spawn_s = self._spawn_pending, self._spawn_seconds
-        self._spawn_pending, self._spawn_seconds = 0, 0.0
         if self._mode == "thread":
+            spawned, spawn_s = self._spawn_pending, self._spawn_seconds
+            self._spawn_pending, self._spawn_seconds = 0, 0.0
             with span("pool.dispatch", mode="thread", tasks=len(payloads)):
                 t0 = time.perf_counter()
                 futures = [self._threads.submit(fn, p) for p in payloads]
@@ -279,11 +368,37 @@ class WorkerPool:
             else 0
         )
         with span("pool.dispatch", mode="fork", tasks=len(payloads)):
-            t0 = time.perf_counter()
-            pending = self._procs.map_async(_pool_invoke, tasks)
-            t1 = time.perf_counter()
-            indexed = pending.get()
-            t2 = time.perf_counter()
+            while True:
+                t0 = time.perf_counter()
+                pending = self._procs.map_async(_pool_invoke, tasks)
+                t1 = time.perf_counter()
+                try:
+                    indexed = self._supervised_get(pending)
+                    t2 = time.perf_counter()
+                    break
+                except _DispatchFailure as failure:
+                    if failure.reason == "deadline":
+                        self.deadline_hits += 1
+                    self._teardown_workers()
+                    respawned = self._try_respawn()
+                    if rec.enabled:
+                        rec.emit(
+                            PoolRecovery(
+                                mode="fork",
+                                reason=failure.reason,
+                                respawned=respawned,
+                                serial_replay=not respawned,
+                                tasks=len(tasks),
+                            )
+                        )
+                    if respawned:
+                        continue
+                    # Respawn budget spent: deterministic serial replay of
+                    # the failed payload slice, and serial maps from now on.
+                    self._broken = True
+                    return [fn(p) for p in payloads]
+        spawned, spawn_s = self._spawn_pending, self._spawn_seconds
+        self._spawn_pending, self._spawn_seconds = 0, 0.0
         if rec.enabled:
             # dispatch_s carries the (amortised) spawn plus submission;
             # collect_s is the wait for payload-ordered results.
@@ -301,23 +416,82 @@ class WorkerPool:
         return [result for _, result in indexed]
 
     # ------------------------------------------------------------------
+    def _supervised_get(self, pending) -> List[tuple]:
+        """Wait for *pending* while watching worker health and the
+        per-dispatch deadline; raises :class:`_DispatchFailure` instead of
+        hanging on a lost chunk.  Exceptions raised by the mapped callable
+        itself propagate unchanged (the pre-supervision contract)."""
+        started = time.monotonic()
+        while True:
+            try:
+                return pending.get(timeout=_SUPERVISE_POLL_S)
+            except multiprocessing.TimeoutError:
+                if self._workers_died():
+                    raise _DispatchFailure("worker-death") from None
+                if (
+                    self._deadline_s is not None
+                    and time.monotonic() - started > self._deadline_s
+                ):
+                    raise _DispatchFailure("deadline") from None
+
+    def _workers_died(self) -> bool:
+        """True when any forked worker exited (exitcode reaped) or was
+        replaced by the pool's maintenance thread (pid churn) — either way
+        the in-flight chunk it held is lost and the dispatch would hang."""
+        procs = getattr(self._procs, "_pool", None)
+        if procs is None:
+            return True
+        if any(p.exitcode is not None for p in procs):
+            return True
+        return {p.pid for p in procs} != self._worker_pids
+
+    def _teardown_workers(self) -> None:
+        """Terminate and join the (broken) forked workers, leaving the pool
+        stopped but reusable by :meth:`start`."""
+        procs, self._procs = self._procs, None
+        self._worker_pids = set()
+        if procs is not None:
+            try:
+                procs.terminate()
+                procs.join()
+            except Exception:
+                pass
+
+    def _try_respawn(self) -> bool:
+        """Fork a fresh worker pool if the respawn budget allows, sleeping
+        the exponential backoff first; False once the budget is spent."""
+        if self.respawns >= self._max_respawns:
+            return False
+        if self._backoff_s > 0:
+            time.sleep(self._backoff_s * (2 ** self.respawns))
+        self.respawns += 1
+        self.start()
+        return True
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
-        """Terminate and join the workers (idempotent).
+        """Terminate and join the workers (idempotent and exception-safe).
 
         ``terminate`` rather than ``close``: every :meth:`map` is
         synchronous, so nothing useful is ever in flight here — and after a
         solver exception it is the only way to guarantee no child outlives
-        the pool."""
+        the pool.  Safe to call any number of times, from any pool state —
+        including after a :meth:`start` that raised partway (the worker
+        handles are detached before teardown, so a second :meth:`close`
+        never touches half-dead state)."""
         if self._closed:
             return
         self._closed = True
-        if self._procs is not None:
-            self._procs.terminate()
-            self._procs.join()
-            self._procs = None
-        if self._threads is not None:
-            self._threads.shutdown(wait=True)
-            self._threads = None
+        procs, self._procs = self._procs, None
+        threads, self._threads = self._threads, None
+        self._worker_pids = set()
+        try:
+            if procs is not None:
+                procs.terminate()
+                procs.join()
+        finally:
+            if threads is not None:
+                threads.shutdown(wait=True)
 
     def __enter__(self) -> "WorkerPool":
         return self

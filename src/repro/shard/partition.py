@@ -24,6 +24,18 @@ The grid is the same construction as
 :class:`~repro.geometry.grid.SpatialHashGrid` — ``floor((p - origin)/side)``
 bucket keys — anchored at the deployment's bounding-box corner and kept
 sparse: only buckets containing readers become cells.
+
+Membership changes (``docs/robustness.md``): :meth:`ShardPartition.
+retire_readers` applies confirmed permanent reader crashes as an
+**incremental partition refresh** — each orphaned tag is re-bucketed to the
+cell of its new lowest-id *alive* covering reader (or marked uncoverable
+when none survives), and only the dirtied cells (those that lost a reader
+or gained a tag) have their halo subsystems rebuilt over the surviving
+fleet.  Untouched cells keep their subsystems byte-for-byte, which is what
+lets the runtime preserve their incremental ``ScheduleContext``s across the
+refresh.  Dead readers may linger in an *untouched* neighbour's halo — they
+are advisory only, permanently suspected, and never activated, so this is
+harmless and avoids cascading rebuilds.
 """
 
 from __future__ import annotations
@@ -76,6 +88,24 @@ def _dist_to_rect(
     dx = np.clip(points[:, 0], x0, x1) - points[:, 0]
     dy = np.clip(points[:, 1], y0, y1) - points[:, 1]
     return np.hypot(dx, dy)
+
+
+@dataclass(frozen=True)
+class RefreshReport:
+    """What one :meth:`ShardPartition.retire_readers` call changed.
+
+    ``retired`` are the reader ids newly marked dead; ``rebuilt_cells`` the
+    cells whose halo subsystem was rebuilt (they lost an owned reader or
+    gained a tag); ``emptied_cells`` the cells left with no alive owned
+    reader (their owned tags were all re-bucketed or orphaned, and the
+    runtime drops their contexts); ``moved_tags`` / ``orphaned_tags`` count
+    re-bucketed and newly-uncoverable tags."""
+
+    retired: Tuple[int, ...]
+    rebuilt_cells: Tuple[int, ...]
+    emptied_cells: Tuple[int, ...]
+    moved_tags: int
+    orphaned_tags: int
 
 
 @dataclass
@@ -151,6 +181,15 @@ class ShardPartition:
         #: The original full system (trivial partitions require it; the
         #: array-first scale path leaves it None on non-trivial partitions).
         self.system = system
+        #: Alive mask over readers; cleared by :meth:`retire_readers`.
+        self.reader_alive = np.ones(len(reader_positions), dtype=bool)
+        # Refresh state, populated by from_arrays on non-trivial partitions
+        # (the trivial partition never refreshes — it has no cells to
+        # re-bucket between, and the unsharded fault path owns it).
+        self.interrogation_radii: Optional[np.ndarray] = None
+        self.tag_positions: Optional[np.ndarray] = None
+        self._reader_buckets: Optional[Dict[Key, np.ndarray]] = None
+        self._tag_buckets: Optional[Dict[Key, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -334,7 +373,7 @@ class ShardPartition:
                     subsystem=subsystem,
                 )
             )
-        return cls(
+        part = cls(
             spec=spec,
             origin=origin,
             cell_side=side,
@@ -344,6 +383,179 @@ class ShardPartition:
             reader_positions=rpos,
             interference_radii=R,
             system=system,
+        )
+        part.interrogation_radii = gamma
+        part.tag_positions = tpos
+        part._reader_buckets = reader_buckets
+        part._tag_buckets = tag_buckets
+        return part
+
+    # ------------------------------------------------------------------
+    def retire_readers(self, dead_ids) -> RefreshReport:
+        """Apply confirmed permanent crashes as an incremental refresh.
+
+        Marks *dead_ids* dead, re-buckets every tag they owned (via their
+        cell) to the cell of its new lowest-id **alive** covering reader —
+        or to ``-1`` when no alive reader covers it any more — and rebuilds
+        exactly the dirtied cells: cells that lost an owned reader and
+        cells that gained a tag.  Cells left without any alive owned reader
+        are *emptied* (degenerate, never solved again) rather than rebuilt.
+        Untouched cells are preserved object-identically, so callers can
+        keep their per-cell state.  Idempotent per reader: already-dead ids
+        are ignored.
+
+        The ownership rescan needs no global search: every alive reader
+        covering a tag owned by cell *c* is already in *c*'s halo-augmented
+        subsystem (any cover of an owned tag is within ``gamma_j + g_own <=
+        2*gamma_max <= H <= side`` of the cell rectangle — the same bound
+        that built the halo)."""
+        if self.is_trivial:
+            raise ValueError(
+                "trivial partitions do not refresh; the unsharded fault "
+                "path owns single-cell deployments"
+            )
+        dead = np.unique(np.asarray(dead_ids, dtype=np.int64).ravel())
+        if dead.size and (
+            dead.min() < 0 or dead.max() >= len(self.reader_positions)
+        ):
+            raise ValueError(f"reader ids out of range: {dead_ids!r}")
+        dead = dead[self.reader_alive[dead]]
+        if dead.size == 0:
+            return RefreshReport((), (), (), 0, 0)
+        self.reader_alive[dead] = False
+
+        affected = np.unique(self.cell_of_reader[dead])
+        moved = orphaned = 0
+        dirty = set(int(c) for c in affected)
+        emptied: List[int] = []
+        for ci in affected.tolist():
+            cell = self.cells[ci]
+            owned_local = np.flatnonzero(cell.owned_tag_mask)
+            if owned_local.size:
+                alive_local = self.reader_alive[cell.all_reader_ids]
+                cov = cell.subsystem.coverage[owned_local] & alive_local[None, :]
+                covered = cov.any(axis=1)
+                tags_g = cell.tag_ids[owned_local]
+                lost = tags_g[~covered]
+                self.owner_of_tag[lost] = -1
+                orphaned += int(lost.size)
+                if covered.any():
+                    # all_reader_ids is ascending, so the first covering
+                    # local id is the lowest alive global cover
+                    first_local = np.argmax(cov[covered], axis=1)
+                    new_reader = cell.all_reader_ids[first_local]
+                    new_cell = self.cell_of_reader[new_reader]
+                    kept = tags_g[covered]
+                    changed = new_cell != ci
+                    self.owner_of_tag[kept[changed]] = new_cell[changed]
+                    moved += int(changed.sum())
+                    dirty.update(int(c) for c in np.unique(new_cell[changed]))
+            if not self.reader_alive[cell.reader_ids].any():
+                emptied.append(ci)
+
+        rebuilt: List[int] = []
+        for ci in sorted(dirty):
+            if ci in emptied:
+                self._empty_cell(ci)
+            else:
+                self._rebuild_cell(ci)
+                rebuilt.append(ci)
+        return RefreshReport(
+            retired=tuple(dead.tolist()),
+            rebuilt_cells=tuple(rebuilt),
+            emptied_cells=tuple(emptied),
+            moved_tags=moved,
+            orphaned_tags=orphaned,
+        )
+
+    def _empty_cell(self, idx: int) -> None:
+        """Degenerate replacement for a cell with no alive owned reader: it
+        owns nothing and is never solved again (its old subsystem is kept
+        only so local id maps stay valid for stale references)."""
+        cell = self.cells[idx]
+        self.cells[idx] = ShardCell(
+            index=cell.index,
+            key=cell.key,
+            bounds=cell.bounds,
+            reader_ids=np.empty(0, dtype=np.int64),
+            halo_reader_ids=cell.halo_reader_ids,
+            all_reader_ids=cell.all_reader_ids,
+            tag_ids=cell.tag_ids,
+            owned_reader_mask=np.zeros(len(cell.all_reader_ids), dtype=bool),
+            owned_tag_mask=np.zeros(len(cell.tag_ids), dtype=bool),
+            subsystem=cell.subsystem,
+        )
+
+    def _rebuild_cell(self, idx: int) -> None:
+        """Rebuild one dirtied cell's halo subsystem over the alive fleet
+        and the current ``owner_of_tag`` map — the same construction as
+        :meth:`from_arrays`, restricted to one cell."""
+        cell = self.cells[idx]
+        key = cell.key
+        x0, x1, y0, y1 = cell.bounds
+        rpos = self.reader_positions
+        tpos = self.tag_positions
+        R = self.interference_radii
+        gamma = self.interrogation_radii
+        owned_all = self._reader_buckets[key]
+        owned = owned_all[self.reader_alive[owned_all]]
+        R_own = float(R[owned].max())
+        g_own = float(gamma[owned].max())
+
+        ring_parts = [
+            self._reader_buckets[k]
+            for k in ((key[0] + dx, key[1] + dy) for dx, dy in RING_OFFSETS)
+            if k in self._reader_buckets
+        ]
+        if ring_parts:
+            ring = np.concatenate(ring_parts)
+            ring = ring[self.reader_alive[ring]]
+        else:
+            ring = np.empty(0, dtype=np.int64)
+        if ring.size:
+            dist = _dist_to_rect(rpos[ring], x0, x1, y0, y1)
+            reach = np.maximum(np.maximum(R[ring], R_own), gamma[ring] + g_own)
+            halo = np.sort(ring[dist <= reach])
+        else:
+            halo = np.empty(0, dtype=np.int64)
+
+        all_readers = np.sort(np.concatenate([owned, halo]))
+        owned_reader_mask = np.isin(all_readers, owned, assume_unique=True)
+
+        g_inc = float(gamma[all_readers].max())
+        tag_parts = [
+            self._tag_buckets[k]
+            for k in (
+                (key[0] + dx, key[1] + dy)
+                for dx in (-1, 0, 1)
+                for dy in (-1, 0, 1)
+            )
+            if k in self._tag_buckets
+        ]
+        if tag_parts:
+            band_cand = np.concatenate(tag_parts)
+            dist = _dist_to_rect(tpos[band_cand], x0, x1, y0, y1)
+            keep = (dist <= g_inc) | (self.owner_of_tag[band_cand] == idx)
+            tag_ids = np.sort(band_cand[keep])
+        else:
+            tag_ids = np.empty(0, dtype=np.int64)
+        owned_tag_mask = self.owner_of_tag[tag_ids] == idx
+
+        subsystem = build_system(
+            rpos[all_readers], R[all_readers], gamma[all_readers],
+            tpos[tag_ids],
+        )
+        self.cells[idx] = ShardCell(
+            index=cell.index,
+            key=key,
+            bounds=cell.bounds,
+            reader_ids=owned,
+            halo_reader_ids=halo,
+            all_reader_ids=all_readers,
+            tag_ids=tag_ids,
+            owned_reader_mask=owned_reader_mask,
+            owned_tag_mask=owned_tag_mask,
+            subsystem=subsystem,
         )
 
     # ------------------------------------------------------------------

@@ -29,6 +29,20 @@ direct full-system solver call with the driver's own rng and calling
 convention, making ``cells == 1`` bit-identical to the unsharded driver
 (certified by ``tests/test_shard.py`` and the paired BENCH_scale records).
 
+Fault composition (``docs/robustness.md``): when the driver runs a fault
+plan, :meth:`ShardRuntime.solve_slot` takes the global *suspected* mask and
+each affected cell solves a **degraded subsystem** over its unsuspected
+local readers (cached per suspicion pattern — the sharded analogue of the
+unsharded driver's reduced candidate view).  The mask is part of the
+per-cell payload, so the degraded world is a pure function of
+``(plan.seed, slot)`` and worker count still cannot change results.
+Confirmed permanent crashes are applied by :meth:`ShardRuntime.refresh`:
+the partition re-buckets orphaned tags and rebuilds dirtied cells
+(:meth:`~repro.shard.partition.ShardPartition.retire_readers`), the runtime
+rebuilds exactly those cells' contexts from its global unread mask —
+surviving contexts are preserved — and an active persistent pool is
+respawned so workers fork the refreshed state.
+
 Telemetry: each live cell's solve is replayed in the parent under a
 ``shard.solve`` span (worker-side span events are dropped — forked workers
 clone the span-id counter, so their ids cannot be merged), the merge pass
@@ -51,10 +65,11 @@ from repro.obs.events import (
     recording,
 )
 from repro.obs.spans import span
+from repro.model.system import build_system
 from repro.perf.parallel import fork_map, in_pool_worker, resolve_workers
 from repro.perf.pool import WorkerPool
 from repro.perf.slotdelta import ScheduleContext
-from repro.shard.partition import ShardPartition
+from repro.shard.partition import RefreshReport, ShardPartition
 from repro.util.rng import as_rng
 
 
@@ -85,14 +100,22 @@ class ShardRuntime:
         self.partition = partition
         self.incremental = incremental
         self._contexts: Optional[List[ScheduleContext]] = None
+        #: Readers retired by :meth:`refresh` (confirmed permanent crashes).
+        self.retired_readers = np.zeros(
+            len(partition.reader_positions), dtype=bool
+        )
+        self._unread_global: Optional[np.ndarray] = None
         if not partition.is_trivial:
+            m = len(partition.owner_of_tag)
+            unread_global = (
+                np.ones(m, dtype=bool)
+                if initial_unread is None
+                else np.asarray(initial_unread, dtype=bool).copy()
+            )
+            self._unread_global = unread_global
             contexts = []
             for cell in partition.cells:
-                local_unread = cell.owned_tag_mask.copy()
-                if initial_unread is not None:
-                    local_unread &= np.asarray(initial_unread, dtype=bool)[
-                        cell.tag_ids
-                    ]
+                local_unread = cell.owned_tag_mask & unread_global[cell.tag_ids]
                 contexts.append(
                     ScheduleContext(cell.subsystem, local_unread)
                 )
@@ -101,8 +124,12 @@ class ShardRuntime:
         self._solver = None
         self._takes_context = False
         self._collect = False
+        # degraded per-cell subsystems, keyed by (cell, suspicion bytes);
+        # per-process (workers fill their own copies deterministically)
+        self._fault_systems = {}
         # persistent-pool state (active only inside pool_scope)
         self._pool: Optional[WorkerPool] = None
+        self._pool_workers = None
         self._retired_logs: Optional[List[List[np.ndarray]]] = None
         self._pool_applied: Optional[List[int]] = None
 
@@ -157,6 +184,7 @@ class ShardRuntime:
         self._collect = bool(rec.enabled)
         self._retired_logs = [[] for _ in self.partition.cells]
         self._pool_applied = [0] * len(self.partition.cells)
+        self._pool_workers = count
         pool = WorkerPool(count)
         try:
             pool.register(self._solve_cell_pool)
@@ -164,8 +192,11 @@ class ShardRuntime:
             self._pool = pool
             yield pool
         finally:
-            self._pool = None
-            pool.close()
+            # close self._pool, not the local: refresh() may have respawned
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.close()
+            self._pool_workers = None
             self._solver = None
             self._takes_context = False
             self._collect = False
@@ -183,12 +214,14 @@ class ShardRuntime:
         are already authoritative — the :func:`in_pool_worker` guard skips
         the replay there.
         """
-        idx, seed, log = payload
+        idx, seed, log = payload[0], payload[1], payload[2]
         if in_pool_worker():
             applied = self._pool_applied[idx]
             for entry in log[applied:]:
                 self._contexts[idx].retire_tags(entry)
             self._pool_applied[idx] = len(log)
+        if len(payload) > 3:
+            return self._solve_cell((idx, seed, payload[3]))
         return self._solve_cell((idx, seed))
 
     # ------------------------------------------------------------------
@@ -201,6 +234,7 @@ class ShardRuntime:
         takes_context: bool = False,
         context: Optional[ScheduleContext] = None,
         unread: Optional[np.ndarray] = None,
+        suspected: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, dict]:
         """Produce the slot's merged active set; returns ``(active, meta)``.
 
@@ -209,7 +243,11 @@ class ShardRuntime:
         sharded path draws one child seed per live cell from it.  *rec* is
         the driver's recorder; *context*/*unread* are the driver-level
         incremental context and unread mask, consumed only by the trivial
-        path (cells carry their own).
+        path (cells carry their own).  *suspected* is the fault layer's
+        global suspicion mask: each affected cell then solves a degraded
+        subsystem over its unsuspected local readers.  The mask travels in
+        the per-cell payloads, so suspicion-aware solves stay a pure
+        function of the payload and worker count cannot change results.
         """
         if self.partition.is_trivial:
             system = self.partition.system
@@ -223,24 +261,47 @@ class ShardRuntime:
         # one child seed per live cell, from the driver's stream — worker
         # count never touches the rng, so parallelism cannot change results
         seeds = rng.integers(0, 2 ** 63 - 1, size=len(live))
+        if suspected is None:
+            susp_by_cell = [None] * len(live)
+        else:
+            # per-cell local slices of the global suspicion mask; None for
+            # unaffected cells so their solve (payload, warm start, cache)
+            # is byte-identical to the fault-free one
+            susp_by_cell = []
+            for idx in live:
+                local = suspected[self.partition.cells[idx].all_reader_ids]
+                susp_by_cell.append(local if local.any() else None)
         if self._pool is not None:
             # persistent pool: ship seeds plus each cell's retirement log
             # (workers replay only their unseen suffix; see pool_scope)
-            outputs = self._pool.map(
-                self._solve_cell_pool,
-                [
+            if suspected is None:
+                payloads = [
                     (idx, int(seed), tuple(self._retired_logs[idx]))
                     for idx, seed in zip(live, seeds)
-                ],
-            )
+                ]
+            else:
+                payloads = [
+                    (idx, int(seed), tuple(self._retired_logs[idx]), susp)
+                    for idx, seed, susp in zip(live, seeds, susp_by_cell)
+                ]
+            outputs = self._pool.map(self._solve_cell_pool, payloads)
         else:
             self._solver = solver
             self._takes_context = takes_context
             self._collect = bool(rec.enabled)
+            if suspected is None:
+                payloads = [
+                    (idx, int(seed)) for idx, seed in zip(live, seeds)
+                ]
+            else:
+                payloads = [
+                    (idx, int(seed), susp)
+                    for idx, seed, susp in zip(live, seeds, susp_by_cell)
+                ]
             try:
                 outputs = fork_map(
                     self._solve_cell,
-                    [(idx, int(seed)) for idx, seed in zip(live, seeds)],
+                    payloads,
                     self.partition.spec.workers,
                 )
             finally:
@@ -288,38 +349,71 @@ class ShardRuntime:
         return active, meta
 
     # ------------------------------------------------------------------
-    def _solve_cell(self, payload: Tuple[int, int]):
+    def _solve_cell(self, payload):
         """Worker body: solve one cell with its own seeded rng.
 
         Runs in a forked worker under ``fork_map`` (or inline when serial).
-        Returns ``(owned active readers as global ids, captured non-span
-        events)`` — only picklable values cross the process boundary.
+        The payload is ``(cell, seed)`` or ``(cell, seed, suspicion)``; a
+        non-empty local suspicion mask routes the solve through a degraded
+        subsystem over the unsuspected local readers (no warm-start context
+        — the cell context indexes the full subsystem).  Returns ``(owned
+        active readers as global ids, captured non-span events)`` — only
+        picklable values cross the process boundary.
         """
-        idx, seed = payload
+        idx, seed = payload[0], payload[1]
+        susp = payload[2] if len(payload) > 2 else None
         cell = self.partition.cells[idx]
         ctx = self._contexts[idx]
         local_rng = as_rng(seed)
+        system = cell.subsystem
+        live_local = None
         kwargs = {}
-        if self._takes_context and self.incremental:
+        if susp is not None and bool(susp.any()):
+            live_local = np.flatnonzero(~susp)
+            if live_local.size == 0:
+                return np.empty(0, dtype=np.int64), []
+            system = self._degraded_subsystem(idx, cell, susp, live_local)
+        elif self._takes_context and self.incremental:
             kwargs["context"] = ctx
         if self._collect:
             with recording(TraceRecorder()) as local:
-                result = self._solver(
-                    cell.subsystem, ctx.unread, local_rng, **kwargs
-                )
+                result = self._solver(system, ctx.unread, local_rng, **kwargs)
             events = [
                 e
                 for e in local.events
                 if not isinstance(e, (SpanStart, SpanEnd))
             ]
         else:
-            result = self._solver(
-                cell.subsystem, ctx.unread, local_rng, **kwargs
-            )
+            result = self._solver(system, ctx.unread, local_rng, **kwargs)
             events = []
         active_local = np.asarray(result.active, dtype=np.int64)
+        if live_local is not None:
+            active_local = live_local[active_local]
         owned = active_local[cell.owned_reader_mask[active_local]]
         return cell.all_reader_ids[owned], events
+
+    def _degraded_subsystem(self, idx: int, cell, susp, live_local):
+        """The cell's subsystem restricted to unsuspected local readers —
+        the sharded analogue of the unsharded driver's reduced candidate
+        view.  Cached per ``(cell, suspicion pattern)`` with a hard size cap
+        (flaky worlds churn patterns); per-process, deterministic either
+        way.  :meth:`refresh` clears the cache — rebuilt cells invalidate
+        their local id maps."""
+        key = (idx, susp.tobytes())
+        cached = self._fault_systems.get(key)
+        if cached is not None:
+            return cached
+        s = cell.subsystem
+        sub = build_system(
+            s.reader_positions[live_local],
+            s.interference_radii[live_local],
+            s.interrogation_radii[live_local],
+            s.tag_positions,
+        )
+        if len(self._fault_systems) >= 128:
+            self._fault_systems.clear()
+        self._fault_systems[key] = sub
+        return sub
 
     # ------------------------------------------------------------------
     def _owner_counts(self, readers: np.ndarray) -> np.ndarray:
@@ -385,6 +479,9 @@ class ShardRuntime:
         tags = np.asarray(confirmed, dtype=np.int64).ravel()
         if tags.size == 0:
             return
+        # keep the global truth current: refresh() rebuilds cell contexts
+        # from this mask, so already-read tags must never resurface
+        self._unread_global[tags] = False
         owners = self.partition.owner_of_tag[tags]
         keep = owners >= 0
         tags, owners = tags[keep], owners[keep]
@@ -404,14 +501,70 @@ class ShardRuntime:
                 self._retired_logs[int(c)].append(local)
 
     # ------------------------------------------------------------------
-    def best_singleton(self) -> Optional[int]:
+    def refresh(self, dead_ids) -> RefreshReport:
+        """Apply confirmed permanent crashes as an incremental refresh.
+
+        Delegates the re-bucketing and cell rebuilds to
+        :meth:`~repro.shard.partition.ShardPartition.retire_readers`, then
+        rebuilds exactly the dirtied cells' contexts from the runtime's
+        global unread mask (already-read tags stay read; surviving cells
+        keep their contexts object-identically), drops emptied cells'
+        contexts to zero unread, and — when a persistent pool is active —
+        respawns it so workers fork the refreshed partition instead of
+        their stale snapshot.  Degraded-subsystem caches are cleared: a
+        rebuilt cell's local id map changed.
+        """
+        if self._contexts is None:
+            raise RuntimeError("trivial runtime does not refresh")
+        report = self.partition.retire_readers(dead_ids)
+        if report.retired:
+            self.retired_readers[list(report.retired)] = True
+            self._fault_systems.clear()
+            for idx in report.rebuilt_cells:
+                cell = self.partition.cells[idx]
+                local_unread = (
+                    cell.owned_tag_mask & self._unread_global[cell.tag_ids]
+                )
+                self._contexts[idx] = ScheduleContext(
+                    cell.subsystem, local_unread
+                )
+            for idx in report.emptied_cells:
+                cell = self.partition.cells[idx]
+                self._contexts[idx] = ScheduleContext(
+                    cell.subsystem, np.zeros(len(cell.tag_ids), dtype=bool)
+                )
+            if self._pool is not None:
+                self._respawn_pool()
+        return report
+
+    def _respawn_pool(self) -> None:
+        """Replace the persistent pool after a refresh: the old fork
+        snapshot holds stale cells/contexts.  The new fork inherits the
+        parent's fully-retired contexts, so logs and watermarks restart
+        empty — there is nothing left to replay."""
+        old, self._pool = self._pool, None
+        old.close()
+        self._retired_logs = [[] for _ in self.partition.cells]
+        self._pool_applied = [0] * len(self.partition.cells)
+        pool = WorkerPool(self._pool_workers)
+        pool.register(self._solve_cell_pool)
+        pool.start()
+        self._pool = pool
+
+    # ------------------------------------------------------------------
+    def best_singleton(
+        self, suspected: Optional[np.ndarray] = None
+    ) -> Optional[int]:
         """The owned reader covering the most unread tags across all cells
         (ties to the lowest global id), or ``None`` when nothing remains.
 
         Positive-progress guarantee: an unread tag's owner cell owns its
         lowest-id covering reader, so some owned reader always has a
         positive count while unread tags remain — and a lone active reader
-        is always operational.
+        is always operational.  *suspected* (global mask) excludes readers
+        currently under heartbeat suspicion; while every candidate is
+        suspected the fallback returns ``None`` and the slot makes no
+        progress (bounded by the policy's stall guard).
         """
         if self._contexts is None:
             raise RuntimeError("trivial runtime does not track unread tags")
@@ -422,6 +575,10 @@ class ShardRuntime:
             counts = np.where(cell.owned_reader_mask, ctx.remaining_counts, 0)
             if counts.size == 0:
                 continue
+            if suspected is not None:
+                counts = np.where(
+                    suspected[cell.all_reader_ids], 0, counts
+                )
             cmax = int(counts.max())
             if cmax <= 0:
                 continue

@@ -27,6 +27,15 @@ The loop emits the standard driver events (``SlotStart`` / ``SlotEnd`` /
 :class:`~repro.obs.collectors.RunCollector` aggregates a scale run exactly
 like an MCS run and ``BENCH_scale.json`` records validate against the
 ordinary schema (family ``scale``).
+
+Fault tolerance composes here too (``docs/robustness.md``): passing
+``faults=FaultPlan(...)`` runs the slot loop against the deterministic
+degraded world — heartbeat suspicion via
+:class:`~repro.faults.HeartbeatMonitor`, suspicion-aware cell solves and
+singleton fallbacks, ACK-based retirement of only the confirmed reads, a
+stall guard, and incremental partition refresh on confirmed permanent
+crashes (``policy.partition_refresh``).  With ``faults=None`` the loop is
+bit-identical to the fault-free scale driver.
 """
 
 from __future__ import annotations
@@ -39,14 +48,23 @@ import numpy as np
 
 from repro.deployment.generators import uniform_deployment
 from repro.deployment.radii import sample_radii
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultPolicy,
+    HeartbeatMonitor,
+)
 from repro.geometry.grid import SpatialHashGrid
 from repro.obs.events import (
     CollisionTally,
+    ReaderFailed,
+    ReadMissed,
     ScheduleDone,
     SlotEnd,
     SlotStart,
     get_recorder,
 )
+from repro.obs.spans import span
 from repro.shard.partition import ShardPartition
 from repro.shard.runtime import ShardRuntime
 from repro.shard.spec import ShardSpec
@@ -107,13 +125,21 @@ class ScaleSlotRecord:
 
 @dataclass(frozen=True)
 class ScaleScheduleResult:
-    """Outcome of :func:`run_scale_schedule`."""
+    """Outcome of :func:`run_scale_schedule`.
+
+    ``outcome`` is ``"complete"`` / ``"exhausted"`` / ``"stalled"``
+    (mirroring :class:`~repro.core.mcs.ScheduleOutcome`, kept a plain
+    string here so the scale tier stays import-free of the dense driver);
+    it defaults to ``None`` so pre-fault constructors stay valid, and
+    :func:`run_scale_schedule` always fills it.
+    """
 
     slots: List[ScaleSlotRecord]
     tags_read_total: int
     complete: bool
     num_cells: int
     uncoverable_tags: int
+    outcome: Optional[str] = None
 
     @property
     def size(self) -> int:
@@ -177,6 +203,9 @@ def run_scale_schedule(
     seed: RngLike = None,
     max_slots: Optional[int] = None,
     workers_hint: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
+    policy: Optional[FaultPolicy] = None,
+    max_stall_slots: Optional[int] = None,
 ) -> ScaleScheduleResult:
     """Run the sparse greedy covering schedule over a scale deployment.
 
@@ -192,6 +221,15 @@ def run_scale_schedule(
     (:meth:`~repro.shard.runtime.ShardRuntime.best_singleton`), which
     always makes positive progress, so the loop ends at full coverage or
     the ``max_slots`` cap (default ``4·n + 64``).
+
+    *faults* engages the deterministic fault world (see the module
+    docstring): suspicion-aware solves and fallbacks, confirmed-only
+    retirement, partition refresh for confirmed permanent crashes, and
+    the stall guard (*max_stall_slots* defaults to
+    ``policy.max_stall_slots``; a plan-less *policy* engages the fault
+    path with an empty :class:`~repro.faults.FaultPlan`, as in the MCS
+    driver).  A permanently crashed sole owner of a tag makes that tag
+    unreachable; the run then terminates with ``outcome="stalled"``.
     """
     from repro.core.oneshot import get_solver  # deferred: core imports shard
 
@@ -218,6 +256,16 @@ def run_scale_schedule(
     rec = get_recorder()
 
     m = len(tpos)
+    if policy is not None and faults is None:
+        faults = FaultPlan()
+    monitor: Optional[HeartbeatMonitor] = None
+    fault_policy = policy if policy is not None else FaultPolicy()
+    if faults is not None:
+        injector = FaultInjector(faults, deployment.num_readers, m)
+        monitor = HeartbeatMonitor(injector, fault_policy.heartbeat_timeout)
+    stall_limit = max_stall_slots
+    if stall_limit is None and monitor is not None:
+        stall_limit = fault_policy.max_stall_slots
     coverable = partition.owner_of_tag >= 0
     unread = coverable.copy()
     counts = np.zeros(m, dtype=np.int32)
@@ -231,6 +279,8 @@ def run_scale_schedule(
 
     slots: List[ScaleSlotRecord] = []
     total_read = 0
+    stall_run = 0
+    stalled = False
     # one persistent worker pool for the whole schedule (no-op when serial
     # or spec.pool=False; see ShardRuntime.pool_scope)
     with runtime.pool_scope(solver_fn, takes_context, rec):
@@ -238,22 +288,73 @@ def run_scale_schedule(
             slot = len(slots)
             if rec.enabled:
                 rec.emit(SlotStart(slot=slot, unread_tags=runtime.num_unread))
+            suspected = None
+            if monitor is not None:
+                failed, newly = monitor.begin_slot(slot)
+                if rec.enabled:
+                    for r in newly:
+                        rec.emit(
+                            ReaderFailed(
+                                slot=slot,
+                                reader=int(r),
+                                missed_heartbeats=int(
+                                    monitor.consecutive_misses[r]
+                                ),
+                            )
+                        )
+                if fault_policy.partition_refresh:
+                    dead = monitor.confirmed_permanent(
+                        slot, exclude=runtime.retired_readers
+                    )
+                    if len(dead):
+                        with span(
+                            "shard.refresh", slot=slot, readers=int(len(dead))
+                        ):
+                            runtime.refresh(dead)
+                        if runtime.num_unread == 0:
+                            # the refresh orphaned every remaining tag:
+                            # no live reader covers them, so no further
+                            # progress is possible
+                            stalled = True
+                            break
+                suspected = monitor.suspected
             active, meta = runtime.solve_slot(
-                slot, solver_fn, rng, rec, takes_context=takes_context
+                slot, solver_fn, rng, rec,
+                takes_context=takes_context, suspected=suspected,
             )
+            if monitor is not None and len(active):
+                # readers whose activation failed this slot drop out
+                active = active[~monitor.failed[active]]
             well, rrc, rtc = _slot_verification(
                 active, rpos, interference, interrogation,
                 tag_grid, unread, counts, owner,
             )
             if len(well) == 0:
-                fallback = runtime.best_singleton()
-                if fallback is None:  # pragma: no cover - num_unread > 0 above
-                    break
-                active = np.asarray([fallback], dtype=np.int64)
-                well, rrc, rtc = _slot_verification(
-                    active, rpos, interference, interrogation,
-                    tag_grid, unread, counts, owner,
-                )
+                fallback = runtime.best_singleton(suspected=suspected)
+                if fallback is None:
+                    if monitor is None:  # pragma: no cover - unreachable
+                        break
+                    # every candidate suspected: a zero-progress slot,
+                    # bounded by the stall guard below
+                    active = np.empty(0, dtype=np.int64)
+                else:
+                    active = np.asarray([fallback], dtype=np.int64)
+                    if monitor is not None:
+                        active = active[~monitor.failed[active]]
+                    well, rrc, rtc = _slot_verification(
+                        active, rpos, interference, interrogation,
+                        tag_grid, unread, counts, owner,
+                    )
+            if monitor is not None and len(well):
+                missed = monitor.injector.missed_tags(slot, well)
+                if len(missed):
+                    if rec.enabled:
+                        rec.emit(
+                            ReadMissed(
+                                slot=slot, tags_missed=int(len(missed))
+                            )
+                        )
+                    well = well[~np.isin(well, missed)]
             if rec.enabled:
                 rec.emit(
                     CollisionTally(slot=slot, rrc_blocked=rrc, rtc_silenced=rtc)
@@ -279,7 +380,23 @@ def run_scale_schedule(
                     boundary_repairs=int(meta.get("boundary_repairs", 0)),
                 )
             )
+            if stall_limit is not None:
+                stall_run = stall_run + 1 if len(well) == 0 else 0
+                if stall_run >= stall_limit:
+                    stalled = True
+                    break
     complete = not bool(unread.any())
+    if stalled:
+        outcome = "stalled"
+    elif complete:
+        outcome = "complete"
+    elif len(slots) >= cap:
+        outcome = "exhausted"
+    else:
+        # the per-cell work drained but orphaned tags (owners permanently
+        # crashed before a refresh could re-home them) remain unread —
+        # progress is impossible under this fault regime
+        outcome = "stalled"
     if rec.enabled:
         rec.emit(
             ScheduleDone(
@@ -292,4 +409,5 @@ def run_scale_schedule(
         complete=complete,
         num_cells=partition.num_cells,
         uncoverable_tags=int((~coverable).sum()),
+        outcome=outcome,
     )

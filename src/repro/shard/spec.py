@@ -20,6 +20,14 @@ readers and tags lives in the cell itself or its eight neighbours — the
 This mirrors the locality theorem behind the paper's neighborhood solver
 (``docs/paper_mapping.md``): a reader's activation decision depends only on
 a bounded-radius ball around it.
+
+The same locality argument carries the fault composition
+(``docs/robustness.md``): every reader that can cover a cell-owned tag
+lives inside that cell's subsystem, so when a reader is confirmed
+permanently crashed its orphaned tags can be re-homed by a purely local
+rescan — the incremental partition refresh rebuilds only the dirtied
+cells.  A :class:`ShardSpec` therefore composes freely with
+``faults=``/``policy=`` in both drivers.
 """
 
 from __future__ import annotations

@@ -6,9 +6,11 @@ from repro.cli import main
 from repro.experiments.chaos import (
     format_chaos_table,
     run_chaos_sweep,
+    run_scale_chaos_sweep,
     write_chaos_files,
 )
 from repro.obs.export import load_bench, validate_run
+from repro.perf.parallel import env_default_workers
 
 SMALL_SCENARIO = dict(
     num_readers=6,
@@ -18,6 +20,25 @@ SMALL_SCENARIO = dict(
     lambda_interrogation=6.0,
     seed=11,
 )
+
+#: Small enough for CI, sharded enough (16 target cells at side 200) that
+#: the scale chaos leg exercises a genuinely multi-cell fault world.
+SCALE_SMALL_SCENARIO = dict(
+    num_readers=60,
+    num_tags=600,
+    side=200.0,
+    lambda_interference=10.0,
+    lambda_interrogation=5.0,
+    seed=5,
+)
+
+
+def _pinned(metrics):
+    """The machine- and worker-count-independent metric subset."""
+    return {
+        k: v for k, v in metrics.items()
+        if not k.endswith(("_s", "_by_name")) and not k.startswith("pool_")
+    }
 
 
 @pytest.fixture(scope="module")
@@ -107,6 +128,43 @@ def test_chaos_smoke_end_to_end(tmp_path):
     assert len(load_bench(path)["runs"]) == len(records) + 1
 
 
+@pytest.mark.chaos_smoke
+def test_scale_chaos_smoke_end_to_end(tmp_path):
+    """Sharded sweep -> BENCH_chaos.json round trip, schema-valid.  The CI
+    leg re-runs this under ``REPRO_WORKERS=2``; a parallel leg additionally
+    re-runs the grid serially and diffs the pinned counters, certifying
+    that the sharded fault draws are worker-count-independent."""
+    workers = env_default_workers(None)
+    kwargs = dict(
+        solvers=("ghc",),
+        fail_rates=(0.0, 0.1),
+        miss_rates=(0.0,),
+        scenario_kwargs=SCALE_SMALL_SCENARIO,
+        shard_cells=16,
+        max_slots=512,
+    )
+    records = run_scale_chaos_sweep(workers=workers, **kwargs)
+    assert [r["label"] for r in records] == ["s_ghc_f0_m0", "s_ghc_f0.1_m0"]
+    for record in records:
+        validate_run(record)
+        assert record["bench"] == "chaos"
+        assert record["scenario"]["shard_cells"] == 16
+        m = record["metrics"]
+        assert m["coverage_fraction"] == 1.0
+        assert m["outcome"] == "complete"
+        assert m["slowdown"] >= 1.0
+    assert records[0]["metrics"]["slowdown"] == 1.0  # fault-free baseline
+    if workers is not None and workers > 1:
+        serial = run_scale_chaos_sweep(workers=None, **kwargs)
+        for par, ser in zip(records, serial):
+            assert _pinned(par["metrics"]) == _pinned(ser["metrics"])
+    path = write_chaos_files(records, tmp_path)
+    data = load_bench(path)
+    assert len(data["runs"]) == len(records)
+    for run in data["runs"]:
+        validate_run(run)
+
+
 class TestCLI:
     def test_dry_run_writes_nothing(self, tmp_path, capsys):
         code = main([
@@ -140,3 +198,26 @@ class TestCLI:
         data = load_bench(tmp_path / "BENCH_chaos.json")
         assert len(data["runs"]) == 1
         assert "appended 1 chaos runs" in capsys.readouterr().out
+
+    def test_scale_dry_run_writes_nothing(self, tmp_path, capsys):
+        code = main([
+            "chaos", "--scale", "--dry-run",
+            "--fail-rates", "0",
+            "--miss-rates", "0",
+            "--readers", "60", "--tags", "600", "--side", "200",
+            "--seed", "5", "--shard-cells", "16",
+            "--max-slots", "512",
+            "--out-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scale chaos sweep (sharded)" in out
+        assert "ghc" in out  # --scale defaults to the scale solver set
+        assert not (tmp_path / "BENCH_chaos.json").exists()
+
+    def test_shard_cells_requires_scale(self, tmp_path, capsys):
+        code = main([
+            "chaos", "--shard-cells", "16", "--out-dir", str(tmp_path),
+        ])
+        assert code == 2
+        assert "--shard-cells requires --scale" in capsys.readouterr().err

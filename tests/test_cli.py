@@ -1,5 +1,12 @@
 """Tests for the rfid-sched CLI."""
 
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -139,3 +146,41 @@ class TestFigure:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestGracefulShutdown:
+    """SIGTERM mid-sweep: handler installed by ``_graceful_signals`` turns
+    the signal into an orderly unwind — sinks flushed, pools closed, a
+    partial-run marker on stderr, exit code 128+signum — and the atomic
+    per-record BENCH append means the aborted sweep leaves no torn file."""
+
+    def test_sigterm_mid_chaos_exits_143_without_bench_file(self, tmp_path):
+        src = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        # a grid heavy enough that the signal always lands mid-sweep
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "chaos",
+                "--solvers", "ghc",
+                "--readers", "200", "--tags", "4000", "--side", "100",
+                "--max-slots", "8192",
+                "--out-dir", str(tmp_path),
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=env, cwd=str(tmp_path),
+        )
+        try:
+            banner = proc.stdout.readline()  # handler is live once work prints
+            assert "chaos sweep" in banner
+            time.sleep(0.5)
+            proc.send_signal(signal.SIGTERM)
+            _, err = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 128 + signal.SIGTERM
+        assert "partial run: interrupted by SIGTERM" in err
+        # the aborted sweep never reached its merge: no torn BENCH file
+        assert not (tmp_path / "BENCH_chaos.json").exists()

@@ -26,10 +26,15 @@ class TestPlanValidation:
         with pytest.raises(ValueError):
             FlakyActivation(reader=0, p_fail=p)
 
-    @pytest.mark.parametrize("p", [-0.01, 1.0])
+    @pytest.mark.parametrize("p", [-0.01, 1.01])
     def test_miss_rate_bounds(self, p):
         with pytest.raises(ValueError):
             FaultPlan(miss_rate=p)
+
+    def test_total_miss_rate_allowed(self):
+        # miss_rate is a full [0, 1] probability: 1.0 is the degenerate
+        # "every read lost" world the stall-guard liveness tests rely on
+        assert FaultPlan(miss_rate=1.0).miss_rate == 1.0
 
     def test_negative_duration_rejected(self):
         with pytest.raises(ValueError, match="duration"):

@@ -344,6 +344,21 @@ class TestOutcomes:
         assert result.outcome is ScheduleOutcome.stalled
         assert result.size == 7
 
+    def test_total_miss_world_terminates_stalled(self):
+        # miss_rate=1.0 loses every read forever: ACK retirement never
+        # fires, so liveness rests entirely on the stall guard — the run
+        # must end in exactly max_stall_slots slots with nothing retired,
+        # not spin to the slot cap.
+        system = _small()
+        plan = FaultPlan(miss_rate=1.0, seed=1)
+        result = greedy_covering_schedule(
+            system, SOLVERS["ghc"], seed=11, faults=plan,
+            policy=FaultPolicy(max_stall_slots=5),
+        )
+        assert result.outcome is ScheduleOutcome.stalled
+        assert result.size == 5
+        assert result.tags_read_total == 0
+
     def test_stall_guard_available_without_faults(self):
         # an explicit max_stall_slots works on the default path too; a
         # completing run never trips it

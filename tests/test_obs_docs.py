@@ -109,6 +109,21 @@ class TestBackendsContract:
         )
 
 
+def test_shard_fault_matrix_identical_in_both_pages():
+    """The shard × fault composition matrix is stated in both
+    ``docs/robustness.md`` and ``docs/scale.md``; the two copies must stay
+    literally identical (same rows, same guarantees)."""
+
+    def matrix(page):
+        text = (REPO / "docs" / page).read_text()
+        section = _section(text, "Shard × fault composition")
+        rows = [l for l in section.splitlines() if l.startswith("|")]
+        assert len(rows) >= 6, f"{page}: composition matrix missing rows"
+        return rows
+
+    assert matrix("robustness.md") == matrix("scale.md")
+
+
 def _linked_pages(text: str) -> set:
     """Filenames of every ``docs/*.md`` page linked from *text* (markdown
     link targets, with or without the ``docs/`` prefix)."""

@@ -271,6 +271,28 @@ class TestExport:
         assert [p.name for p in tmp_path.iterdir()] == ["BENCH_mcs.json"]
         assert len(load_bench(path)["runs"]) == 2
 
+    def test_merge_interrupted_write_preserves_old_document(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash mid-write (simulated at the os.replace boundary) leaves
+        the trajectory holding the previous document, schema-valid, with
+        no temp-file debris — the append is atomic per record."""
+        path = tmp_path / "BENCH_mcs.json"
+        first = self._record()
+        merge_run(path, first)
+        before = path.read_text()
+
+        def _crash(src, dst):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("os.replace", _crash)
+        with pytest.raises(KeyboardInterrupt):
+            merge_run(path, self._record())
+        monkeypatch.undo()
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_mcs.json"]
+        assert len(load_bench(path)["runs"]) == 1
+
     def test_merge_rejects_family_mismatch(self, tmp_path):
         path = tmp_path / "BENCH_mcs.json"
         merge_run(path, self._record("mcs"))

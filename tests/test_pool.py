@@ -11,7 +11,12 @@ The pool's contract has four load-bearing clauses, each pinned here:
   exception) terminates and joins every child;
 * **recorded degradation** — nested dispatches and post-fork closures fall
   back serially / one-shot with a counter and a once-per-process warning,
-  never silently.
+  never silently;
+* **supervision** — a SIGKILLed or wedged worker never hangs a dispatch:
+  the pool tears down, respawns within its budget (``pool_respawns``),
+  enforces the per-dispatch deadline (``pool_deadline_hits``), and replays
+  the payload slice serially as a last resort, all without changing
+  results (:class:`~repro.obs.events.PoolRecovery`).
 
 Plus the ``REPRO_WORKERS`` environment default honoured by every
 ``--workers`` CLI flag (precedence CLI > env > serial).
@@ -19,16 +24,17 @@ Plus the ``REPRO_WORKERS`` environment default honoured by every
 
 import multiprocessing
 import os
+import signal
 import warnings
 
 import numpy as np
 import pytest
 
 from repro.obs.collectors import RunCollector
-from repro.obs.events import PoolDispatch, TraceRecorder, recording
+from repro.obs.events import PoolDispatch, PoolRecovery, TraceRecorder, recording
 from repro.perf import parallel as parallel_module
 from repro.perf import pool as pool_module
-from repro.perf.parallel import env_default_workers, fork_map
+from repro.perf.parallel import env_default_workers, fork_map, in_pool_worker
 from repro.perf.pool import WorkerPool
 from repro.shard import ScaleDeployment, ShardSpec, run_scale_schedule
 from repro.util.validation import check_workers
@@ -47,6 +53,8 @@ TIMING = (
     "pool_spawns",
     "pool_tasks",
     "pool_payload_bytes",
+    "pool_respawns",
+    "pool_deadline_hits",
 )
 
 
@@ -76,6 +84,37 @@ def _double(x):
 
 def _explode(x):
     raise ZeroDivisionError(f"worker failed on {x!r}")
+
+
+def _die_until_marker(task):
+    """Module-level: the first worker to see the marker file absent creates
+    it and SIGKILLs itself (a transient crash — the respawned pool sees the
+    marker and succeeds).  The ``in_pool_worker`` guard keeps the parent's
+    serial replay from killing the test process."""
+    x, marker = task
+    if in_pool_worker() and not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return 2 * x
+
+
+def _die_always(x):
+    """Module-level: every forked worker SIGKILLs itself on dispatch (a
+    permanent crash regime — only the parent's serial replay can finish)."""
+    if in_pool_worker():
+        os.kill(os.getpid(), signal.SIGKILL)
+    return 2 * x
+
+
+def _hang_in_worker(x):
+    """Module-level: wedges forever inside a worker (deadline fodder); runs
+    instantly in the parent's serial replay."""
+    if in_pool_worker():
+        import time
+
+        time.sleep(3600)
+    return 2 * x
 
 
 def no_leaked_children():
@@ -186,6 +225,100 @@ class TestWorkerPool:
             assert pool.mode == "serial"
             assert pool.map(_double, [1, 2]) == [2, 4]
         assert parallel_module.nested_serial_calls == before + 1
+
+
+class TestPoolSupervision:
+    """A crashed or hung worker degrades a dispatch, never hangs or fails
+    it: results stay payload-order correct through respawn and the serial
+    last resort, and every recovery is recorded."""
+
+    def test_transient_worker_death_respawns_and_results_correct(self, tmp_path):
+        marker = str(tmp_path / "died-once")
+        payloads = [(i, marker) for i in range(6)]
+        rec = TraceRecorder()
+        with recording(rec):
+            with WorkerPool(2, respawn_backoff_s=0.0) as pool:
+                out = pool.map(_die_until_marker, payloads)
+        assert out == [2 * i for i in range(6)]
+        assert pool.respawns >= 1
+        assert pool.deadline_hits == 0
+        recoveries = [e for e in rec.events if isinstance(e, PoolRecovery)]
+        assert recoveries, "worker death must emit a PoolRecovery event"
+        assert recoveries[0].reason == "worker-death"
+        assert recoveries[0].respawned is True
+        assert recoveries[0].serial_replay is False
+        assert no_leaked_children()
+
+    def test_permanent_crash_exhausts_budget_then_serial_replay(self):
+        rec = TraceRecorder()
+        with recording(rec):
+            with WorkerPool(2, max_respawns=1, respawn_backoff_s=0.0) as pool:
+                out = pool.map(_die_always, range(5))
+                # the budget is spent: later maps run serially, deterministically
+                again = pool.map(_die_always, range(5))
+        assert out == [2 * i for i in range(5)]
+        assert again == out
+        assert pool.respawns == 1  # bounded by max_respawns
+        recoveries = [e for e in rec.events if isinstance(e, PoolRecovery)]
+        assert [r.respawned for r in recoveries] == [True, False]
+        assert recoveries[-1].serial_replay is True
+        assert no_leaked_children()
+
+    def test_dispatch_deadline_hits_and_serial_replay(self):
+        rec = TraceRecorder()
+        with recording(rec):
+            with WorkerPool(
+                2, dispatch_deadline_s=0.3, max_respawns=0,
+                respawn_backoff_s=0.0,
+            ) as pool:
+                out = pool.map(_hang_in_worker, range(4))
+        assert out == [2 * i for i in range(4)]
+        assert pool.deadline_hits == 1
+        recoveries = [e for e in rec.events if isinstance(e, PoolRecovery)]
+        assert [r.reason for r in recoveries] == ["deadline"]
+        assert recoveries[0].serial_replay is True
+        assert no_leaked_children()
+
+    def test_collector_exports_supervision_counters(self):
+        collector = RunCollector()
+        with recording(collector):
+            with WorkerPool(
+                2, dispatch_deadline_s=0.3, max_respawns=0,
+                respawn_backoff_s=0.0,
+            ) as pool:
+                assert pool.map(_hang_in_worker, [1, 2]) == [2, 4]
+        summary = collector.summary()
+        assert summary["pool_deadline_hits"] == 1
+        assert summary["pool_respawns"] == 0
+        assert no_leaked_children()
+
+    def test_deadline_validation_and_env_default(self, monkeypatch):
+        with pytest.raises(ValueError, match="dispatch_deadline_s"):
+            WorkerPool(2, dispatch_deadline_s=0.0)
+        monkeypatch.setenv("REPRO_POOL_DEADLINE", "2.5")
+        assert WorkerPool(2)._deadline_s == 2.5
+        for bad in ("", "  ", "soon", "-1", "0"):
+            monkeypatch.setenv("REPRO_POOL_DEADLINE", bad)
+            assert WorkerPool(2)._deadline_s is None
+        monkeypatch.delenv("REPRO_POOL_DEADLINE")
+        # an explicit constructor deadline beats the environment
+        monkeypatch.setenv("REPRO_POOL_DEADLINE", "9")
+        assert WorkerPool(2, dispatch_deadline_s=1.0)._deadline_s == 1.0
+
+    def test_close_safe_after_failed_start(self, monkeypatch):
+        pool = WorkerPool(2)
+
+        def _no_fork(method):
+            raise RuntimeError("fork refused")
+
+        monkeypatch.setattr(pool_module.multiprocessing, "get_context", _no_fork)
+        with pytest.raises(RuntimeError, match="fork refused"):
+            pool.start()
+        pool.close()  # must not raise on half-started state
+        pool.close()  # and stays idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.map(_double, [1])
+        assert no_leaked_children()
 
 
 class TestNestedForkMap:

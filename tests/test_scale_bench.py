@@ -7,12 +7,19 @@ marker runs a reduced scale matrix end-to-end under both kernel backends
 and schema-validates the ``BENCH_scale.json`` records.
 """
 
+import os
+import signal
+import sys
+
 import numpy as np
 import pytest
 
 from repro.cli import main
 from repro.core import get_solver, greedy_covering_schedule
+from repro.faults import FaultPlan, FaultPolicy, PermanentCrash
 from repro.model.system import build_system
+from repro.perf import pool as pool_module
+from repro.perf.parallel import in_pool_worker
 from repro.obs.export import REQUIRED_METRICS, load_bench, validate_run
 from repro.shard import ScaleDeployment, ShardSpec, run_scale_schedule
 from repro.shard.bench import (
@@ -112,6 +119,134 @@ class TestScaleDriver:
         tiny = ScaleDeployment(num_readers=5, num_tags=20, side=5.0, seed=1)
         with pytest.raises(ValueError):
             run_scale_schedule(tiny, ShardSpec(cells=0))
+
+
+class TestScaleFaults:
+    """The sparse driver's fault composition: deterministic degraded
+    worlds, membership-driven refresh, and liveness under total loss."""
+
+    DEPLOY = ScaleDeployment(num_readers=120, num_tags=1500, side=160.0, seed=7)
+
+    def test_fault_free_outcome_is_complete(self):
+        result = run_scale_schedule(self.DEPLOY, ShardSpec(cells=16), seed=11)
+        assert result.complete
+        assert result.outcome == "complete"
+
+    def test_flaky_world_completes_and_is_worker_independent(self):
+        plan = FaultPlan.uniform_flaky(
+            self.DEPLOY.num_readers, 0.1, miss_rate=0.1, seed=3
+        )
+        serial = run_scale_schedule(
+            self.DEPLOY, ShardSpec(cells=16), seed=11, faults=plan
+        )
+        pooled = run_scale_schedule(
+            self.DEPLOY, ShardSpec(cells=16, workers=3), seed=11, faults=plan
+        )
+        assert serial.complete
+        assert serial.outcome == "complete"
+        # fault draws are keyed by (seed, slot): worker count cannot move them
+        assert pooled.slots == serial.slots
+        assert pooled.tags_read_total == serial.tags_read_total
+        assert pooled.outcome == serial.outcome
+        # the fault world costs slots relative to the fault-free run
+        clean = run_scale_schedule(self.DEPLOY, ShardSpec(cells=16), seed=11)
+        assert serial.size >= clean.size
+        assert serial.tags_read_total == clean.tags_read_total
+
+    def test_permanent_crashes_stall_with_partial_coverage(self):
+        # crash a handful of readers for good: their exclusively-owned
+        # tags become unreachable, so the run stalls after reading the rest
+        plan = FaultPlan(
+            reader_faults=tuple(PermanentCrash(r, 0) for r in range(6)),
+            miss_rate=0.2,
+            seed=3,
+        )
+        result = run_scale_schedule(
+            self.DEPLOY, ShardSpec(cells=16), seed=11, faults=plan,
+            policy=FaultPolicy(max_stall_slots=6),
+        )
+        assert result.outcome == "stalled"
+        assert not result.complete
+        # everything not exclusively owned by the dead readers was read
+        assert result.tags_read_total > 0
+
+    def test_total_miss_world_terminates_stalled(self):
+        # liveness: with every read lost, the stall guard must end the run
+        # in exactly max_stall_slots slots — never spin to the slot cap
+        plan = FaultPlan(miss_rate=1.0, seed=1)
+        result = run_scale_schedule(
+            self.DEPLOY, ShardSpec(cells=16), seed=11, faults=plan,
+            max_stall_slots=6,
+        )
+        assert result.outcome == "stalled"
+        assert result.size == 6
+        assert result.tags_read_total == 0
+
+
+#: Marker path for the crash-mid-bench injection below.  Module-level so
+#: forked pool workers inherit it (the wrapper is pickled by reference and
+#: resolved against this module inside the child).
+_CRASH_MARKER = None
+_REAL_POOL_INVOKE = pool_module._pool_invoke
+
+
+def _invoke_killing_once(task):
+    """`_pool_invoke` wrapper: the first worker to run a task SIGKILLs
+    itself mid-dispatch (exactly once, marker-file guarded); every later
+    invocation — including the post-respawn retry — delegates unchanged."""
+    if (
+        in_pool_worker()
+        and _CRASH_MARKER is not None
+        and not os.path.exists(_CRASH_MARKER)
+    ):
+        with open(_CRASH_MARKER, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _REAL_POOL_INVOKE(task)
+
+
+class TestCrashMidBench:
+    def test_worker_crash_mid_bench_keeps_bench_schema_valid(
+        self, tmp_path, monkeypatch
+    ):
+        """A pool worker SIGKILLed while holding a dispatched chunk must
+        not corrupt anything: the supervisor respawns, the matrix finishes
+        with the same schedule as an uninjured run, and the appended
+        ``BENCH_scale.json`` stays schema-valid (the atomic ``merge_run``
+        contract).  The deadline env is a belt-and-braces bound in case
+        ``multiprocessing.Pool``'s worker-maintenance thread absorbs the
+        death before the supervisor's health poll sees it."""
+        monkeypatch.setenv("REPRO_POOL_DEADLINE", "5")
+        monkeypatch.setattr(
+            sys.modules[__name__], "_CRASH_MARKER", str(tmp_path / "killed")
+        )
+        monkeypatch.setattr(pool_module, "_pool_invoke", _invoke_killing_once)
+        point = small_point(
+            "smoke_crash",
+            num_readers=60, num_tags=600, side=200.0, seed=5,
+            shard_cells=16, workers=2,
+        )
+        records = run_scale_matrix((point,))
+        monkeypatch.undo()
+        assert os.path.exists(str(tmp_path / "killed")), (
+            "the crash must land mid-run"
+        )
+        paths = write_scale_files(records, tmp_path)
+        data = load_bench(paths["scale"])
+        assert len(data["runs"]) == 1
+        for run in data["runs"]:
+            validate_run(run)
+        metrics = data["runs"][0]["metrics"]
+        assert metrics["complete"] is True
+        assert metrics["pool_respawns"] >= 1
+        # the recovered schedule matches an uninjured serial run
+        clean = run_scale_matrix((small_point(
+            "smoke_crash",
+            num_readers=60, num_tags=600, side=200.0, seed=5,
+            shard_cells=16,
+        ),))["scale"][0]["metrics"]
+        assert metrics["slots"] == clean["slots"]
+        assert metrics["tags_read"] == clean["tags_read"]
 
 
 class TestMatrixDefinitions:

@@ -38,6 +38,8 @@ TIMING = (
     "pool_spawns",
     "pool_tasks",
     "pool_payload_bytes",
+    "pool_respawns",
+    "pool_deadline_hits",
 )
 
 
@@ -261,17 +263,156 @@ class TestShardedEquivalence:
         assert_same_schedule(serial, forked)
         assert strip_timing(serial_sum) == strip_timing(forked_sum)
 
-    def test_shard_excludes_fault_injection(self, medium_system):
+class TestShardFaultComposition:
+    """``shard=`` composes with ``faults=``: degraded per-cell solves,
+    deterministic suspicion payloads, and incremental partition refresh
+    on confirmed permanent crashes (``docs/robustness.md``)."""
+
+    @pytest.fixture(scope="class")
+    def flaky_plan(self, medium_system):
         from repro.faults import FaultPlan
 
-        plan = FaultPlan.uniform_flaky(
-            medium_system.num_readers, p_fail=0.1, seed=1
+        return FaultPlan.uniform_flaky(
+            medium_system.num_readers, p_fail=0.1, miss_rate=0.1, seed=1
         )
-        with pytest.raises(ValueError):
-            greedy_covering_schedule(
-                medium_system, get_solver("ghc"), seed=0,
-                shard=ShardSpec(cells=16), faults=plan,
+
+    @pytest.mark.parametrize(
+        "solver_name",
+        ["exact", "ptas", "localsearch", "centralized", "distributed", "ghc"],
+    )
+    def test_all_solvers_complete_under_faults(
+        self, medium_system, flaky_plan, solver_name
+    ):
+        from repro.experiments.figures import SOLVER_KWARGS
+
+        solver = get_solver(
+            solver_name, **SOLVER_KWARGS.get(solver_name, {})
+        )
+        result = greedy_covering_schedule(
+            medium_system, solver, seed=9, faults=flaky_plan,
+            shard=ShardSpec(cells=16),
+        )
+        coverable = int(medium_system.covered_by_any().sum())
+        assert result.complete
+        assert result.tags_read_total == coverable
+
+    def test_fault_draws_identical_across_workers_and_pool(
+        self, medium_system, flaky_plan
+    ):
+        solver = get_solver("ghc")
+
+        def run(**shard_kwargs):
+            return run_collected(
+                medium_system, solver, seed=9, faults=flaky_plan,
+                shard=ShardSpec(cells=16, **shard_kwargs),
             )
+
+        serial, serial_sum = run(workers=1)
+        pooled, pooled_sum = run(workers=3)
+        forked, forked_sum = run(workers=3, pool=False)
+        assert_same_schedule(serial, pooled)
+        assert_same_schedule(serial, forked)
+        assert serial.fault_trace == pooled.fault_trace == forked.fault_trace
+        assert (
+            strip_timing(serial_sum)
+            == strip_timing(pooled_sum)
+            == strip_timing(forked_sum)
+        )
+
+    def test_trivial_partition_matches_unsharded_fault_path(
+        self, medium_system, flaky_plan
+    ):
+        solver = get_solver("ghc")
+        base, base_sum = run_collected(
+            medium_system, solver, seed=9, faults=flaky_plan
+        )
+        shard, shard_sum = run_collected(
+            medium_system, solver, seed=9, faults=flaky_plan,
+            shard=ShardSpec(cells=1),
+        )
+        assert_same_schedule(base, shard)
+        assert base.fault_trace == shard.fault_trace
+        assert strip_timing(base_sum) == strip_timing(shard_sum)
+
+    def test_confirmed_permanent_crash_triggers_refresh(self, medium_system):
+        from repro.faults import FaultPlan
+        from repro.faults.plan import PermanentCrash
+        from repro.obs.events import SpanStart, TraceRecorder
+
+        plan = FaultPlan(
+            reader_faults=(PermanentCrash(reader=2, at_slot=0),),
+            miss_rate=0.3, seed=11,
+        )
+        tracer = TraceRecorder()
+        with recording(tracer):
+            result = greedy_covering_schedule(
+                medium_system, get_solver("ghc"), seed=9, faults=plan,
+                shard=ShardSpec(cells=16),
+            )
+        refreshes = [
+            e for e in tracer.events
+            if isinstance(e, SpanStart) and e.name == "shard.refresh"
+        ]
+        assert len(refreshes) == 1  # one crash, confirmed exactly once
+        # the run still reads every tag reachable without the dead reader
+        unread = np.ones(medium_system.num_tags, dtype=bool)
+        for s in result.slots:
+            unread[s.tags_read] = False
+        alive = np.ones(medium_system.num_readers, dtype=bool)
+        alive[2] = False
+        left = np.flatnonzero(unread & medium_system.covered_by_any())
+        reachable = medium_system.coverage[
+            np.ix_(left, np.flatnonzero(alive))
+        ]
+        assert not reachable.any()
+
+    def test_partition_refresh_opt_out(self, medium_system):
+        from repro.faults import FaultPlan, FaultPolicy
+        from repro.faults.plan import PermanentCrash
+        from repro.obs.events import SpanStart, TraceRecorder
+
+        plan = FaultPlan(
+            reader_faults=(PermanentCrash(reader=2, at_slot=0),), seed=11
+        )
+        tracer = TraceRecorder()
+        with recording(tracer):
+            greedy_covering_schedule(
+                medium_system, get_solver("ghc"), seed=9, faults=plan,
+                policy=FaultPolicy(partition_refresh=False),
+                shard=ShardSpec(cells=16),
+            )
+        assert not any(
+            isinstance(e, SpanStart) and e.name == "shard.refresh"
+            for e in tracer.events
+        )
+
+    def test_retire_readers_rebuckets_orphans(self, medium_system):
+        """Direct partition-level check: killing a cell's reader re-homes
+        its tags to surviving covering readers or orphans them."""
+        partition = ShardPartition.from_system(
+            medium_system, ShardSpec(cells=16)
+        )
+        victim = int(partition.cells[0].reader_ids[0])
+        owned_before = np.flatnonzero(partition.owner_of_tag >= 0)
+        report = partition.retire_readers([victim])
+        assert report.retired == (victim,)
+        assert not partition.reader_alive[victim]
+        # every formerly-owned tag is re-homed to an alive covering reader
+        # or orphaned (owner -1); none may point at the dead reader's cell
+        # without an alive owner covering it
+        for t in owned_before:
+            c = int(partition.owner_of_tag[t])
+            if c < 0:
+                continue
+            cell = partition.cells[c]
+            local_t = int(np.searchsorted(cell.tag_ids, t))
+            alive_local = partition.reader_alive[cell.all_reader_ids]
+            covers = cell.subsystem.coverage[local_t] & alive_local
+            assert covers.any()
+        assert report.moved_tags + report.orphaned_tags >= 0
+        # idempotent: retiring the same reader again is a no-op
+        again = partition.retire_readers([victim])
+        assert again.retired == ()
 
 
 def boundary_deployment():
