@@ -69,10 +69,15 @@ from repro.perf.parallel import env_default_workers
 from repro.shard.spec import ShardSpec
 
 
-class _SignalInterrupt(Exception):
+class _SignalInterrupt(BaseException):
     """Raised by the graceful-shutdown handlers so long-running commands
     unwind through their ``with``/``finally`` blocks (JSONL sinks flushed,
-    worker pools closed) instead of dying mid-write."""
+    worker pools closed) instead of dying mid-write.
+
+    Deliberately a ``BaseException`` (like :class:`KeyboardInterrupt`):
+    library-level ``except Exception`` blocks — stdlib pool workers wrap
+    their result ``put`` in one — must not be able to swallow a shutdown
+    request and keep the process alive past its own termination."""
 
     def __init__(self, signum: int) -> None:
         super().__init__(f"interrupted by signal {signum}")
@@ -214,10 +219,21 @@ def _build_parser() -> argparse.ArgumentParser:
     render.add_argument("--width", type=int, default=72)
 
     report = sub.add_parser(
-        "report", help="run every figure and write a markdown reproduction report"
+        "report",
+        help="write a markdown reproduction report (all figures), or — with "
+        "--trace — render a streamed JSONL trace into a run summary",
     )
     report.add_argument("--out", default=None, help="output path (default: stdout)")
     report.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    report.add_argument(
+        "--trace",
+        default=None,
+        metavar="JSONL",
+        help="render this JSONL event log (written by trace run --jsonl) "
+        "into a run report: slot timeline, per-cell solve heatmap, pool "
+        "health, fault counts, latency histograms; --out ending in .html "
+        "writes a self-contained HTML page",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="custom one-shot sweep over lambda_R or lambda_r"
@@ -423,6 +439,30 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="solver-kernel backend (default: auto; env REPRO_BACKEND "
         "overrides auto) — bit-identical output, see docs/backends.md",
+    )
+    trun.add_argument(
+        "--shard-cells",
+        type=int,
+        default=None,
+        dest="shard_cells",
+        help="trace the schedule through the spatial sharding tier with "
+        "this target cell count; relayed per-cell solves appear as "
+        "shard.solve spans (see docs/scale.md)",
+    )
+    trun.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="with --shard-cells: solve cells on N forked processes; "
+        "worker events ship back over the cross-process trace relay and "
+        "appear on per-worker lanes in the exported trace "
+        "(-1 = CPU count; default: env REPRO_WORKERS, else serial)",
+    )
+    trun.add_argument(
+        "--progress",
+        action="store_true",
+        help="repaint a one-line live status per completed slot on stderr "
+        "(TTY only)",
     )
     trun.add_argument(
         "--out", default="trace.json", help="Chrome trace-event output path"
@@ -844,6 +884,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 def _cmd_trace_run(args: argparse.Namespace) -> int:
     from repro.obs.events import TraceRecorder, recording
+    from repro.obs.relay import relayed_from
+    from repro.obs.report import ProgressLine
     from repro.obs.sink import JsonlSink, TeeRecorder, write_chrome_trace
     from repro.obs.spans import reset_spans
 
@@ -863,9 +905,22 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
     system = scenario.build()
     solver = get_solver(solver_name, **solver_kwargs)
 
+    shard = None
+    if args.shard_cells is not None:
+        shard = ShardSpec(
+            cells=args.shard_cells,
+            workers=env_default_workers(args.workers),
+        )
+    elif args.workers is not None:
+        print("error: trace run --workers requires --shard-cells "
+              "(see docs/scale.md)", file=sys.stderr)
+        return 2
+
     recorder = TraceRecorder(max_events=args.max_events)
     sink = JsonlSink(args.jsonl) if args.jsonl else None
-    active = TeeRecorder(recorder, sink) if sink else recorder
+    progress = ProgressLine() if args.progress else None
+    children = [r for r in (recorder, sink, progress) if r is not None]
+    active = TeeRecorder(*children) if len(children) > 1 else recorder
     reset_spans()
     try:
         with use_backend(resolve_backend(args.backend)), recording(active):
@@ -875,8 +930,11 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
                 linklayer=args.linklayer,
                 seed=scenario.seed,
                 incremental=args.incremental,
+                shard=shard,
             )
     finally:
+        if progress:
+            progress.close()
         if sink:
             sink.close()
     write_chrome_trace(recorder.events, args.out)
@@ -891,8 +949,30 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
     if recorder.dropped_events:
         print(f"warning: {recorder.dropped_events} events dropped at the "
               f"--max-events={args.max_events} cap")
+    relay_dropped = relayed_from(recorder)
+    if relay_dropped:
+        print(f"warning: {relay_dropped} worker events dropped at the "
+              f"relay buffer cap (repro.obs.relay.RELAY_MAX_EVENTS)")
     if sink:
         print(f"streamed {sink.events_written} events to {args.jsonl}")
+    return 0
+
+
+def _cmd_report_trace(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_report, write_report
+    from repro.obs.sink import load_jsonl
+
+    try:
+        events = load_jsonl(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    title = f"run report: {args.trace}"
+    if args.out:
+        write_report(events, args.out, title=title)
+        print(f"wrote {args.out} ({len(events)} events)")
+    else:
+        print(render_report(events, title=title), end="")
     return 0
 
 
@@ -942,6 +1022,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "chaos":
         return _run_guarded(_cmd_chaos, args)
     if args.command == "report":
+        if args.trace:
+            return _cmd_report_trace(args)
         from repro.experiments.report import generate_report
 
         text = generate_report(seeds=tuple(args.seeds))

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.mcs import ScheduleResult
 from repro.model.system import RFIDSystem
+from repro.obs.metrics import percentile
 
 
 def tag_read_slots(result: ScheduleResult) -> Dict[int, int]:
@@ -41,16 +42,19 @@ class LatencyStats:
 
     @classmethod
     def from_schedule(cls, result: ScheduleResult) -> "LatencyStats":
-        slots = np.array(sorted(tag_read_slots(result).values()), dtype=float)
-        if slots.size == 0:
+        # quantiles via repro.obs.metrics.percentile — the same linear
+        # interpolation np.percentile computes, pinned by
+        # tests/test_obs_relay.py
+        slots = sorted(float(s) for s in tag_read_slots(result).values())
+        if not slots:
             return cls(count=0, mean=0.0, median=0.0, p90=0.0, p99=0.0, worst=0)
         return cls(
-            count=int(slots.size),
-            mean=float(slots.mean()),
-            median=float(np.percentile(slots, 50)),
-            p90=float(np.percentile(slots, 90)),
-            p99=float(np.percentile(slots, 99)),
-            worst=int(slots.max()),
+            count=len(slots),
+            mean=sum(slots) / len(slots),
+            median=percentile(slots, 50),
+            p90=percentile(slots, 90),
+            p99=percentile(slots, 99),
+            worst=int(slots[-1]),
         )
 
 

@@ -12,8 +12,17 @@ The obs layer is the repository's telemetry backbone (see
 * :mod:`repro.obs.spans` — hierarchical :func:`~repro.obs.spans.span`
   tracing (``mcs.run`` → ``mcs.slot`` → stage → ``solver.call``) over the
   same recorder;
+* :mod:`repro.obs.relay` — the cross-process trace relay: forked workers
+  buffer their events and ship them back on result payloads, where the
+  parent rebases span ids and re-parents them under the dispatching span;
+* :mod:`repro.obs.metrics` — counters, gauges and deterministic
+  log-bucketed histograms (exact p50/p90/p99 from retained samples), fed
+  into BENCH records as the advisory ``histograms`` metric field;
 * :mod:`repro.obs.sink` — the bounded-buffer JSONL streaming sink and the
   Chrome trace-event / Perfetto exporter behind ``rfid-sched trace``;
+* :mod:`repro.obs.report` — the live ``--progress`` status line and the
+  ``rfid-sched report --trace`` renderer (slot timeline, per-cell solve
+  heatmap, pool health, fault counts) in text or self-contained HTML;
 * :mod:`repro.obs.export` — the versioned BENCH JSON schema and the merge
   tool that appends runs to ``BENCH_oneshot.json`` / ``BENCH_mcs.json``;
 * :mod:`repro.obs.bench` — the pinned-seed scenario matrix behind the
@@ -40,6 +49,7 @@ from repro.obs.events import (
     ReaderFailed,
     ReadMissed,
     Recorder,
+    RelayClipped,
     ScheduleDegraded,
     ScheduleDone,
     SlotEnd,
@@ -54,6 +64,28 @@ from repro.obs.events import (
     get_recorder,
     recording,
     set_recorder,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from repro.obs.relay import (
+    RELAY_MAX_EVENTS,
+    RelayRecorder,
+    capture_relay,
+    relay_payload,
+    relayed_from,
+    replay_events,
+)
+from repro.obs.report import (
+    ProgressLine,
+    render_report,
+    render_report_html,
+    revive_event,
+    write_report,
 )
 from repro.obs.compare import WORK_COUNTERS, audit_against, audit_trajectory, run_compare
 from repro.obs.export import (
@@ -93,6 +125,7 @@ __all__ = [
     "SolverDeadline",
     "ScheduleDegraded",
     "PoolDispatch",
+    "RelayClipped",
     "SweepPoint",
     "SpanStart",
     "SpanEnd",
@@ -127,4 +160,20 @@ __all__ = [
     "validate_bench",
     "merge_run",
     "load_bench",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "percentile",
+    "RELAY_MAX_EVENTS",
+    "RelayRecorder",
+    "capture_relay",
+    "relay_payload",
+    "relayed_from",
+    "replay_events",
+    "ProgressLine",
+    "render_report",
+    "render_report_html",
+    "revive_event",
+    "write_report",
 ]

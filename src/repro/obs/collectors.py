@@ -21,6 +21,7 @@ from repro.obs.events import (
     ReaderFailed,
     ReadMissed,
     Recorder,
+    RelayClipped,
     ScheduleDegraded,
     ScheduleDone,
     ShardMerge,
@@ -33,6 +34,7 @@ from repro.obs.events import (
     StageTiming,
     SweepPoint,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.util.timing import Stopwatch
 
 
@@ -79,14 +81,26 @@ class RunCollector(Recorder):
         :class:`~repro.obs.events.PoolRecovery` events.  Exported by
         :meth:`summary` only when the parallel tier actually dispatched or
         recovered, so serial records keep their historical shape.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` of latency/size
+        histograms fed from the event stream: ``slot_solve_s`` (the MCS
+        driver's per-slot solve-stage wall, from ``StageTiming``),
+        ``cell_solve_s`` (per-cell solve wall in sharded runs, from the
+        ``shard.solve`` span), ``halo_readers`` (per-cell halo size, from
+        ``ShardMerge``), ``pool_dispatch_s`` (end-to-end parallel dispatch
+        latency, from ``PoolDispatch``), and ``fault_ladder_depth`` (the
+        degradation-ladder level reached per step, from
+        ``ScheduleDegraded``).  Exported by :meth:`summary` as the optional
+        ``histograms`` metric field (p50/p90/p99 summaries) whenever any
+        instrument fired.
     ignored_events:
         Count of events outside the :data:`~repro.obs.events.EVENT_TYPES`
         taxonomy that this collector received and skipped.  Never exported
         by :meth:`summary` — it exists to debug custom taxonomies feeding
         the wrong recorder.  Span events (``SpanStart``/``SpanEnd``) are
-        part of the taxonomy and are skipped silently: they are structural,
-        exported by the sinks in :mod:`repro.obs.sink`, and aggregate to
-        nothing here.
+        structural and aggregate to no counter; the single exception is the
+        ``shard.solve`` span, whose ``SpanEnd.seconds`` feeds the
+        ``cell_solve_s`` histogram.
     """
 
     enabled = True
@@ -125,8 +139,11 @@ class RunCollector(Recorder):
             "pool_payload_bytes": 0,
             "pool_respawns": 0,
             "pool_deadline_hits": 0,
+            "relay_dropped_events": 0,
         }
         self._pool_events_seen = False
+        self.metrics = MetricsRegistry()
+        self._ladder_level = 0
         self.solver_times = Stopwatch()
         self.stage_times = Stopwatch()
         self.sweep_times = Stopwatch()
@@ -176,6 +193,8 @@ class RunCollector(Recorder):
             self.counters["distsim_dropped"] += event.dropped
         elif isinstance(event, StageTiming):
             self.stage_times.record(event.stage, event.seconds)
+            if event.stage == "solve":
+                self.metrics.histogram("slot_solve_s").observe(event.seconds)
         elif isinstance(event, ReaderFailed):
             self.fault_counters["readers_failed"] += 1
             self._fault_events_seen = True
@@ -188,11 +207,16 @@ class RunCollector(Recorder):
         elif isinstance(event, ScheduleDegraded):
             self.fault_counters["schedule_degradations"] += 1
             self._fault_events_seen = True
+            self._ladder_level += 1
+            self.metrics.histogram("fault_ladder_depth").observe(
+                self._ladder_level
+            )
         elif isinstance(event, ShardMerge):
             self.shard_counters["shard_cells"] += event.cells_solved
             self.shard_counters["shard_halo_readers"] += event.halo_readers
             self.shard_counters["shard_boundary_repairs"] += event.boundary_repairs
             self._shard_events_seen = True
+            self.metrics.histogram("halo_readers").observe(event.halo_readers)
         elif isinstance(event, PoolDispatch):
             self.pool_counters["pool_spawns"] += event.spawned
             self.pool_counters["pool_tasks"] += event.tasks
@@ -200,18 +224,27 @@ class RunCollector(Recorder):
             self._pool_events_seen = True
             self.stage_times.record("pool.dispatch", event.dispatch_s)
             self.stage_times.record("pool.collect", event.collect_s)
+            self.metrics.histogram("pool_dispatch_s").observe(
+                event.dispatch_s + event.collect_s
+            )
         elif isinstance(event, PoolRecovery):
             if event.respawned:
                 self.pool_counters["pool_respawns"] += 1
             if event.reason == "deadline":
                 self.pool_counters["pool_deadline_hits"] += 1
             self._pool_events_seen = True
+        elif isinstance(event, RelayClipped):
+            self.pool_counters["relay_dropped_events"] += event.dropped_events
+            self._pool_events_seen = True
+        elif isinstance(event, SpanEnd):
+            if event.name == "shard.solve":
+                self.metrics.histogram("cell_solve_s").observe(event.seconds)
         elif isinstance(event, ScheduleDone):
             self.schedule_complete = event.complete
         elif isinstance(event, SweepPoint):
             self.counters["sweep_points"] += 1
             self.sweep_times.record(event.param, event.seconds)
-        elif not isinstance(event, (SpanStart, SpanEnd)):
+        elif not isinstance(event, SpanStart):
             self.ignored_events += 1
 
     # ------------------------------------------------------------------
@@ -240,6 +273,9 @@ class RunCollector(Recorder):
             out.update(self.shard_counters)
         if self._pool_events_seen:
             out.update(self.pool_counters)
+        histograms = self.metrics.histogram_summaries()
+        if histograms:
+            out["histograms"] = histograms
         out["tags_per_slot"] = list(self.tags_per_slot)
         out["sets_per_slot"] = list(self.sets_per_slot)
         if self.schedule_complete is not None:

@@ -238,6 +238,19 @@ class PoolRecovery:
 
 
 @dataclass(frozen=True)
+class RelayClipped:
+    """The cross-process trace relay clipped one worker payload:
+    *dropped_events* worker-side events were dropped at the bounded relay
+    buffer (:data:`repro.obs.relay.RELAY_MAX_EVENTS`) — the shipped trace
+    is incomplete but the dispatch itself was unaffected.  Emitted in the
+    parent during replay, inside the owning ``shard.solve`` /
+    ``pool.dispatch`` span; aggregated into the ``relay_dropped_events``
+    metric."""
+
+    dropped_events: int
+
+
+@dataclass(frozen=True)
 class SweepPoint:
     """One replicated sweep measurement: ``measure(value, seed)`` at sweep
     parameter *param* took *seconds*."""
@@ -294,6 +307,7 @@ EVENT_TYPES: Tuple[type, ...] = (
     ShardMerge,
     PoolDispatch,
     PoolRecovery,
+    RelayClipped,
     SweepPoint,
     SpanStart,
     SpanEnd,

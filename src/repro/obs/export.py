@@ -91,6 +91,8 @@ METRIC_FIELDS: Dict[str, str] = {
     "pool_payload_bytes": "pickled task bytes shipped to workers, summed over dispatches",
     "pool_respawns": "fresh worker pools forked by the supervisor after a worker death or deadline hit",
     "pool_deadline_hits": "parallel dispatches that exceeded the pool's per-dispatch deadline",
+    "relay_dropped_events": "worker-side trace events dropped at the bounded relay buffer cap, summed over dispatches",
+    "histograms": "p50/p90/p99 latency/size summaries keyed by histogram name (slot_solve_s, cell_solve_s, halo_readers, pool_dispatch_s, fault_ladder_depth); advisory, never drift-gated",
     "shard_cells": "live spatial cells solved, summed over slots",
     "shard_halo_readers": "advisory halo readers shipped to cell solves, summed over slots",
     "shard_boundary_repairs": "cross-cell RTc conflicts repaired by the merge pass",

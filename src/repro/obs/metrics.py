@@ -1,0 +1,194 @@
+"""Deterministic metrics primitives: counters, gauges, log-bucket histograms.
+
+The flat counters of :class:`~repro.obs.collectors.RunCollector` answer
+"how much work happened"; this module answers "how was it *distributed*".
+Three primitives, all plain Python and deterministic given the same sample
+stream:
+
+* :class:`Counter` — a monotone tally;
+* :class:`Gauge` — a last-write-wins level;
+* :class:`Histogram` — samples bucketed by powers of two (the bucket index
+  is the binary exponent from :func:`math.frexp`, so bucketing is exact —
+  no ``log`` rounding at bucket edges) *plus* the raw sample list, so
+  percentile summaries are exact rather than bucket-interpolated.
+
+:func:`percentile` is the repo's single percentile implementation (the
+linear-interpolation definition, matching ``numpy.percentile``'s default);
+``experiments/analysis.py`` and the BENCH ``histograms`` export both route
+through it.
+
+A :class:`MetricsRegistry` names and owns a set of instruments and renders
+them to the JSON-ready summaries embedded in BENCH records (the optional
+``histograms`` metric field — see ``docs/observability.md``).  The
+registry is deliberately *not* a recorder: the collector owns event
+dispatch and feeds the registry, keeping one instrumentation path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def percentile(samples: Sequence[Number], q: float) -> float:
+    """The *q*-th percentile (``0 <= q <= 100``) of *samples* under linear
+    interpolation — the same definition as ``numpy.percentile``'s default,
+    so the two agree on every input: with ``n`` sorted samples the virtual
+    rank is ``q/100 * (n-1)`` and fractional ranks interpolate linearly
+    between the neighbouring order statistics."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    ordered = sorted(float(s) for s in samples)
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    frac = rank - lo
+    if frac == 0.0 or lo + 1 >= len(ordered):
+        return ordered[lo]
+    return ordered[lo] + (ordered[lo + 1] - ordered[lo]) * frac
+
+
+class Counter:
+    """A monotone event tally."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: Number = 1) -> None:
+        """Add *n* (must be non-negative) to the tally."""
+        if n < 0:
+            raise ValueError(f"Counter.inc takes a non-negative n, got {n}")
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins level (e.g. live cells, unread tags)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Overwrite the level with *value*."""
+        self.value = value
+
+
+class Histogram:
+    """A power-of-two log-bucket histogram retaining its raw samples.
+
+    Buckets are keyed by the sample's binary exponent: sample ``v`` falls
+    in bucket ``e`` iff ``2**(e-1) <= v < 2**e`` (``math.frexp``, exact —
+    no floating-point ``log`` at bucket edges), with non-positive samples
+    collected in the sentinel bucket :data:`ZERO_BUCKET`.  The raw samples
+    are kept alongside so :meth:`quantile` is exact; memory stays bounded
+    because every instrumented stream is per-run (slots × cells, not
+    unbounded service traffic).
+    """
+
+    #: Bucket key for samples ``<= 0`` (wall-clock of an empty stage, a
+    #: zero-size halo), which have no binary exponent.
+    ZERO_BUCKET = "le0"
+
+    __slots__ = ("samples", "buckets")
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+        self.buckets: Dict[Union[int, str], int] = {}
+
+    def observe(self, value: Number) -> None:
+        """Record one sample."""
+        v = float(value)
+        self.samples.append(v)
+        key: Union[int, str]
+        if v <= 0.0:
+            key = self.ZERO_BUCKET
+        else:
+            _, key = math.frexp(v)
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self.samples)
+
+    def quantile(self, q: float) -> float:
+        """Exact *q*-th percentile of the raw samples (:func:`percentile`)."""
+        return percentile(self.samples, q)
+
+    def summary(self) -> dict:
+        """JSON-ready summary: count, sum, min/mean/max, p50/p90/p99.
+
+        The shape of every entry of the BENCH ``histograms`` metric field.
+        """
+        n = self.count
+        if n == 0:
+            raise ValueError("summary of an empty histogram")
+        total = sum(self.samples)
+        return {
+            "count": n,
+            "sum": total,
+            "min": min(self.samples),
+            "mean": total / n,
+            "max": max(self.samples),
+            "p50": self.quantile(50),
+            "p90": self.quantile(90),
+            "p99": self.quantile(99),
+        }
+
+
+class MetricsRegistry:
+    """A named set of instruments with a JSON-ready rendering.
+
+    ``counter(name)`` / ``gauge(name)`` / ``histogram(name)`` create on
+    first use and return the existing instrument thereafter (the Prometheus
+    convention), so instrumentation sites never coordinate registration.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The :class:`Counter` registered under *name* (created on first
+        use)."""
+        if name not in self._counters:
+            self._counters[name] = Counter()
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The :class:`Gauge` registered under *name* (created on first
+        use)."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge()
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """The :class:`Histogram` registered under *name* (created on first
+        use)."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram()
+        return self._histograms[name]
+
+    def histogram_summaries(self) -> Dict[str, dict]:
+        """``{name: summary}`` for every *non-empty* histogram, names
+        sorted — the BENCH ``histograms`` metric payload.  Empty histograms
+        are omitted so records keep their historical shape when an
+        instrument never fired."""
+        return {
+            name: h.summary()
+            for name, h in sorted(self._histograms.items())
+            if h.count
+        }
+
+    def counter_values(self) -> Dict[str, Number]:
+        """``{name: value}`` for every counter, names sorted."""
+        return {
+            name: c.value for name, c in sorted(self._counters.items())
+        }

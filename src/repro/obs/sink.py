@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import time
 from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
@@ -53,32 +54,52 @@ def event_to_dict(event) -> dict:
 class JsonlSink(Recorder):
     """Enabled recorder streaming every event to a JSONL file.
 
-    The buffer is bounded: lines are flushed to disk every
-    ``buffer_events`` events and again on :meth:`close`, so memory use is
-    constant in the run length and ``tail -f`` observes the run live.
+    The buffer is bounded *and* time-bounded: lines are flushed to disk
+    whenever ``buffer_events`` of them accumulate, whenever
+    ``flush_interval_s`` seconds have passed since the last flush (checked
+    on emit — a run quieter than the buffer size still streams, so
+    ``tail -f`` observes it live rather than only at :meth:`close`), and
+    again on :meth:`close`.  Memory use is constant in the run length.
+    ``flush_interval_s=None`` disables the time trigger (size-only
+    flushing, the pre-interval behaviour); ``0`` flushes every event.
     Usable as a context manager; :attr:`events_written` counts all events
     serialised so far (flushed or still buffered).
     """
 
     enabled = True
 
-    def __init__(self, path: PathLike, buffer_events: int = 256) -> None:
+    def __init__(
+        self,
+        path: PathLike,
+        buffer_events: int = 256,
+        flush_interval_s: Optional[float] = 0.5,
+    ) -> None:
         if buffer_events <= 0:
             raise ValueError(
                 f"buffer_events must be positive, got {buffer_events}"
             )
+        if flush_interval_s is not None and flush_interval_s < 0:
+            raise ValueError(
+                f"flush_interval_s must be non-negative, got {flush_interval_s}"
+            )
         self.path = Path(path)
         self.buffer_events = int(buffer_events)
+        self.flush_interval_s = flush_interval_s
         self.events_written = 0
         self._buf: List[str] = []
         self._fh = open(self.path, "w")
+        self._last_flush = time.monotonic()
 
     def emit(self, event) -> None:
         """Serialise *event* to one buffered JSON line, flushing the buffer
-        to disk whenever it reaches ``buffer_events`` lines."""
+        to disk whenever it reaches ``buffer_events`` lines or the
+        ``flush_interval_s`` line interval has elapsed."""
         self._buf.append(json.dumps(event_to_dict(event), default=_json_default))
         self.events_written += 1
-        if len(self._buf) >= self.buffer_events:
+        if len(self._buf) >= self.buffer_events or (
+            self.flush_interval_s is not None
+            and time.monotonic() - self._last_flush >= self.flush_interval_s
+        ):
             self.flush()
 
     def flush(self) -> None:
@@ -87,6 +108,7 @@ class JsonlSink(Recorder):
             self._fh.write("\n".join(self._buf) + "\n")
             self._buf = []
         self._fh.flush()
+        self._last_flush = time.monotonic()
 
     def close(self) -> None:
         """Flush and close the underlying file."""
@@ -131,49 +153,79 @@ def load_jsonl(path: PathLike) -> List[dict]:
     return events
 
 
+#: Lane (``tid``) of the parent process in exported Chrome traces; relayed
+#: worker spans get lanes allocated upwards from here.
+MAIN_LANE = 1
+
+
 def chrome_trace(events: Iterable) -> dict:
     """Convert an event stream to a Chrome trace-event document.
 
     *events* may be live event objects (e.g. ``TraceRecorder.events``) or
     dicts loaded from a JSONL sink file.  Spans become ``B``/``E`` duration
-    pairs with micro-second timestamps relative to the first span; every
+    pairs with micro-second timestamps relative to the earliest span; every
     non-span event becomes an instant (``i``) event stamped at the last
     seen span timestamp and attributed to the innermost open span via
     ``args.span`` / ``args.span_id`` — fault events therefore attach to
-    their enclosing ``mcs.slot`` span.  The result opens directly in
+    their enclosing ``mcs.slot`` span.
+
+    Relayed worker spans (a ``relay_pid`` attribute stamped by
+    :func:`repro.obs.relay.replay_events`) are drawn on their own lane: one
+    ``tid`` per worker pid — or per ``relay_cell`` for cells solved in the
+    parent — named via ``thread_name`` metadata, so a
+    ``trace run --workers N`` timeline shows the parent dispatch row above
+    N concurrent worker rows.  The result opens directly in
     ``chrome://tracing`` or Perfetto.
     """
     dicts = [e if isinstance(e, dict) else event_to_dict(e) for e in events]
-    t0: Optional[float] = None
-    for d in dicts:
-        if d.get("event") in ("SpanStart", "SpanEnd"):
-            t0 = float(d["t"])
-            break
+    span_ts = [
+        float(d["t"])
+        for d in dicts
+        if d.get("event") in ("SpanStart", "SpanEnd")
+    ]
+    t0: Optional[float] = min(span_ts) if span_ts else None
     entries: List[dict] = []
     open_spans: List[tuple] = []  # (span_id, name) innermost last
+    lanes: dict = {}  # lane key -> (tid, display name)
+    span_lane: dict = {}  # span_id -> tid (so E pairs with its B's lane)
     last_ts = 0.0
     for i, d in enumerate(dicts):
         kind = d.get("event")
         if kind == "SpanStart":
             ts = (float(d["t"]) - t0) * 1e6 if t0 is not None else float(i)
-            last_ts = ts
+            last_ts = max(last_ts, ts)
             args = {str(k): v for k, v in (tuple(p) for p in d.get("attrs", ()))}
             args["span_id"] = d["span_id"]
             if d.get("parent_id") is not None:
                 args["parent_id"] = d["parent_id"]
+            tid = MAIN_LANE
+            if "relay_pid" in args:
+                key = ("pid", args["relay_pid"])
+                label = f"worker pid {args['relay_pid']}"
+            elif "relay_cell" in args:
+                key = ("cell", args["relay_cell"])
+                label = f"cell {args['relay_cell']}"
+            else:
+                key = None
+            if key is not None:
+                if key not in lanes:
+                    lanes[key] = (MAIN_LANE + 1 + len(lanes), label)
+                tid = lanes[key][0]
+            span_lane[d["span_id"]] = tid
             entries.append(
                 {"name": d["name"], "cat": "span", "ph": "B", "ts": ts,
-                 "pid": 1, "tid": 1, "args": args}
+                 "pid": 1, "tid": tid, "args": args}
             )
             open_spans.append((d["span_id"], d["name"]))
         elif kind == "SpanEnd":
             ts = (float(d["t"]) - t0) * 1e6 if t0 is not None else float(i)
-            last_ts = ts
+            last_ts = max(last_ts, ts)
             if open_spans and open_spans[-1][0] == d["span_id"]:
                 open_spans.pop()
             entries.append(
                 {"name": d["name"], "cat": "span", "ph": "E", "ts": ts,
-                 "pid": 1, "tid": 1, "args": {"span_id": d["span_id"]}}
+                 "pid": 1, "tid": span_lane.get(d["span_id"], MAIN_LANE),
+                 "args": {"span_id": d["span_id"]}}
             )
         else:
             args = {k: v for k, v in d.items() if k != "event"}
@@ -181,9 +233,22 @@ def chrome_trace(events: Iterable) -> dict:
                 args["span_id"], args["span"] = open_spans[-1]
             entries.append(
                 {"name": kind or "event", "cat": "event", "ph": "i", "s": "t",
-                 "ts": last_ts, "pid": 1, "tid": 1, "args": args}
+                 "ts": last_ts, "pid": 1, "tid": MAIN_LANE, "args": args}
             )
-    return {"traceEvents": entries, "displayTimeUnit": "ms"}
+    meta: List[dict] = []
+    if lanes:
+        # lane-naming metadata only when worker lanes exist, so serial
+        # traces keep exactly their historical entry list
+        meta.append(
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": MAIN_LANE,
+             "ts": 0.0, "args": {"name": "main"}}
+        )
+        for tid, label in sorted(lanes.values()):
+            meta.append(
+                {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                 "ts": 0.0, "args": {"name": label}}
+            )
+    return {"traceEvents": meta + entries, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(events: Iterable, path: PathLike) -> Path:

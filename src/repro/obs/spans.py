@@ -67,16 +67,18 @@ SPAN_NAMES: Dict[str, str] = {
     "sweep.run": "one replicated experiment sweep over its parameter grid "
     "(experiments.sweep.run_sweep)",
     "shard.solve": "one spatial cell's slot solve in the sharded driver "
-    "(shard.runtime.ShardRuntime.solve_slot); the cell's replayed solver "
-    "events nest under it",
+    "(shard.runtime.ShardRuntime.solve_slot); the cell's relayed worker "
+    "events — including the worker-side solver.call span, rebased by "
+    "obs.relay — nest under it",
     "shard.merge": "the slot's boundary-reconciliation pass merging "
     "per-cell activations (shard.runtime.ShardRuntime.solve_slot)",
     "shard.refresh": "one incremental partition refresh after confirmed "
     "permanent reader crashes: orphaned tags re-bucketed and dirtied cells "
     "rebuilt (shard.runtime.ShardRuntime.refresh)",
-    "pool.dispatch": "one deterministic map through the persistent worker "
-    "pool (perf.pool.WorkerPool.map): task submission plus the wait for "
-    "payload-order results",
+    "pool.dispatch": "one deterministic parallel map (persistent "
+    "perf.pool.WorkerPool.map, or a one-shot perf.parallel.fork_map fork): "
+    "task submission, the wait for payload-order results, and the replay "
+    "of relayed worker events",
 }
 
 _ids = count(1)
@@ -86,6 +88,18 @@ _stack: List[int] = []
 def current_span_id() -> Optional[int]:
     """Id of the innermost open span, or ``None`` outside every span."""
     return _stack[-1] if _stack else None
+
+
+def next_span_id() -> int:
+    """Allocate one fresh id from the process-wide span-id counter.
+
+    The cross-process trace relay (:mod:`repro.obs.relay`) rebases
+    worker-side span ids through this: forked workers clone the counter, so
+    their raw ids collide with ids the parent allocates after the fork —
+    replaying a shipped worker trace therefore maps every worker id onto a
+    fresh parent id before emission.
+    """
+    return next(_ids)
 
 
 def reset_spans() -> None:

@@ -30,17 +30,21 @@ it, so serial is the only deterministic behaviour.  The degradation is
 in the affected process and a :class:`RuntimeWarning` fires once per
 process.  See ``docs/performance.md``.
 
-Telemetry contract: events emitted *inside* ``fn`` land in the worker's
-copy of the process-wide recorder and are discarded with the worker.
-Callers that need per-point telemetry must return it as part of ``fn``'s
-result (the bench runners do) or emit it in the parent after the merge (the
-sweep driver does).  Each parallel dispatch additionally emits one
-:class:`~repro.obs.events.PoolDispatch` event in the parent (mode
-``"fork-oneshot"`` / ``"thread-oneshot"`` here; the persistent pool emits
-``"fork"`` / ``"thread"``), so the exported ``pool_spawns`` counter makes
-per-call re-forking visible next to the persistent pool's single spawn.
-Serial execution emits nothing — serial records keep their historical
-shape.  See ``docs/performance.md``.
+Telemetry contract: when the parent's recorder is enabled at dispatch
+time, events emitted *inside* ``fn`` are captured in a bounded worker-side
+buffer and shipped back on the result payloads — the cross-process trace
+relay of :mod:`repro.obs.relay`.  The parent replays them (span ids
+rebased, roots re-parented) under the dispatch's ``pool.dispatch`` span,
+so worker traces appear in the parent stream as if emitted locally.  With
+the recorder disabled nothing is captured, shipped or replayed — the
+dispatch carries exactly its historical payloads.  Each parallel dispatch
+additionally emits one :class:`~repro.obs.events.PoolDispatch` event in
+the parent (mode ``"fork-oneshot"`` / ``"thread-oneshot"`` here; the
+persistent pool emits ``"fork"`` / ``"thread"``), so the exported
+``pool_spawns`` counter makes per-call re-forking visible next to the
+persistent pool's single spawn.  Serial execution emits nothing — serial
+records keep their historical shape.  See ``docs/performance.md`` and
+``docs/observability.md``.
 
 Thread-fallback caveat: threads *share* the process-wide recorder, so on
 fork-less platforms events from concurrent payloads interleave into whatever
@@ -54,15 +58,24 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import threading
 import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.obs.events import PoolDispatch, get_recorder
+from repro.obs.relay import capture_relay, replay_events
+from repro.obs.spans import span
 from repro.util.validation import check_workers
 
 _WORKER_FN: Optional[Callable[[Any], Any]] = None
+
+#: True while a fork dispatch wants the cross-process trace relay: set in
+#: the parent immediately before forking (workers inherit it), so workers
+#: only buffer/ship events when the parent's recorder was enabled.
+_WORKER_RELAY = False
 
 #: True inside a forked :class:`~repro.perf.pool.WorkerPool` worker (set by
 #: the pool's initializer).  Parent processes never set it.
@@ -79,9 +92,42 @@ nested_serial_calls = 0
 _NESTED_WARNED = False
 
 
+def reset_inherited_signal_handlers() -> None:
+    """Restore default ``SIGTERM``/``SIGINT`` dispositions in a forked
+    pool worker.
+
+    Children inherit whatever handlers the parent installed — notably the
+    CLI's graceful-shutdown trap, which turns both signals into a Python
+    exception.  Inside a pool worker that inheritance is fatal: stdlib
+    ``Pool._terminate_pool`` SIGTERMs straggling workers *after*
+    permanently seizing the task-queue read lock, and the worker loop's
+    broad ``except Exception`` around its result ``put`` can swallow the
+    raised interrupt — the worker survives its own termination, loops back
+    to ``get()`` and deadlocks against the parent's held lock (the parent
+    then hangs forever in ``join``).  Resetting to ``SIG_DFL`` keeps
+    ``terminate()`` lethal, which pool teardown depends on.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return  # pragma: no cover - initializers run on the worker main thread
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            pass
+
+
+def _oneshot_worker_init() -> None:
+    """Runs once in each one-shot forked child (see
+    :func:`reset_inherited_signal_handlers`)."""
+    reset_inherited_signal_handlers()
+
+
 def _invoke(payload_with_index) -> tuple:
     index, payload = payload_with_index
-    return index, _WORKER_FN(payload)
+    if not _WORKER_RELAY:
+        return index, _WORKER_FN(payload), None
+    result, relayed = capture_relay(_WORKER_FN, payload)
+    return index, result, relayed
 
 
 def in_pool_worker() -> bool:
@@ -203,6 +249,7 @@ def fork_map(
             )
         return results
 
+    global _WORKER_RELAY
     rec = get_recorder()
     tasks = list(enumerate(payloads))
     payload_bytes = 0
@@ -214,14 +261,26 @@ def fork_map(
         )
     ctx = multiprocessing.get_context("fork")
     _WORKER_FN = fn
+    _WORKER_RELAY = rec.enabled
     t0 = time.perf_counter()
-    try:
-        with ctx.Pool(processes=min(count, len(payloads))) as pool:
-            t1 = time.perf_counter()
-            indexed = pool.map(_invoke, tasks)
-    finally:
-        _WORKER_FN = None
-    t2 = time.perf_counter()
+    with span("pool.dispatch", mode="fork-oneshot", tasks=len(tasks)):
+        try:
+            with ctx.Pool(
+                processes=min(count, len(payloads)),
+                initializer=_oneshot_worker_init,
+            ) as pool:
+                t1 = time.perf_counter()
+                indexed = pool.map(_invoke, tasks)
+        finally:
+            _WORKER_FN = None
+            _WORKER_RELAY = False
+        t2 = time.perf_counter()
+        indexed.sort(key=lambda triple: triple[0])
+        if rec.enabled:
+            # relay: replay each worker's shipped trace (payload order)
+            # under this pool.dispatch span
+            for _, _, relayed in indexed:
+                replay_events(relayed, rec)
     if rec.enabled:
         # dispatch_s is dominated by per-call pool creation (the cost the
         # persistent pool amortises); collect_s is the map itself plus the
@@ -236,5 +295,4 @@ def fork_map(
                 collect_s=t2 - t1,
             )
         )
-    indexed.sort(key=lambda pair: pair[0])
-    return [result for _, result in indexed]
+    return [result for _, result, _ in indexed]

@@ -65,8 +65,13 @@ metrics).  A persistent pool shows ``pool_spawns == 1`` per run where the
 per-slot ``fork_map`` path shows one spawn per parallel slot — the
 amortisation is visible in the BENCH records.  Every supervised recovery
 additionally emits a :class:`~repro.obs.events.PoolRecovery` event
-(``pool_respawns`` / ``pool_deadline_hits`` counters).  See
-``docs/performance.md`` and ``docs/observability.md``.
+(``pool_respawns`` / ``pool_deadline_hits`` counters).  When the parent's
+recorder is enabled at dispatch time, fork-mode workers additionally run
+the cross-process trace relay (:mod:`repro.obs.relay`): their events are
+buffered (bounded), shipped back on the result payloads and replayed —
+span ids rebased, roots re-parented — under the dispatch's
+``pool.dispatch`` span, so ``--workers N`` traces stay one coherent tree.
+See ``docs/performance.md`` and ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -81,6 +86,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence, Set
 
 from repro.obs.events import PoolDispatch, PoolRecovery, get_recorder
+from repro.obs.relay import capture_relay, replay_events
 from repro.obs.spans import span
 from repro.perf import parallel
 from repro.perf.parallel import (
@@ -101,14 +107,24 @@ _WORKER_TASKS: Optional[List[Callable[[Any], Any]]] = None
 def _pool_worker_init() -> None:
     """Runs once in each forked child: mark the process as a pool worker so
     nested parallel dispatches degrade serially (recorded, not crashed —
-    daemonic workers cannot fork children)."""
+    daemonic workers cannot fork children), and restore default signal
+    dispositions so ``terminate()`` stays lethal
+    (:func:`~repro.perf.parallel.reset_inherited_signal_handlers`)."""
     parallel._IN_POOL_WORKER = True
+    parallel.reset_inherited_signal_handlers()
 
 
 def _pool_invoke(task: tuple) -> tuple:
-    index, handle, fn, payload = task
+    index, handle, fn, payload, relay = task
     target = _WORKER_TASKS[handle] if handle >= 0 else fn
-    return index, target(payload)
+    if not relay:
+        return index, target(payload), None
+    # Cross-process trace relay: buffer the worker's events (bounded) and
+    # ship them back on the result; the parent replays them under its
+    # pool.dispatch span.  Requested per task, so it is exactly as stale as
+    # the parent's recorder state at dispatch time — never the fork time.
+    result, relayed = capture_relay(target, payload)
+    return index, result, relayed
 
 
 #: Result-wait poll granularity of the supervised fork dispatch, seconds.
@@ -358,8 +374,10 @@ class WorkerPool:
                     )
                 )
             return results
+        relay = rec.enabled
         tasks = [
-            (i, -1 if handle is None else handle, fn if handle is None else None, p)
+            (i, -1 if handle is None else handle,
+             fn if handle is None else None, p, relay)
             for i, p in enumerate(payloads)
         ]
         payload_bytes = (
@@ -397,6 +415,12 @@ class WorkerPool:
                     # the failed payload slice, and serial maps from now on.
                     self._broken = True
                     return [fn(p) for p in payloads]
+            indexed.sort(key=lambda triple: triple[0])
+            if relay:
+                # cross-process trace relay: replay each worker's shipped
+                # events (payload order) under this pool.dispatch span
+                for _, _, relayed in indexed:
+                    replay_events(relayed, rec)
         spawned, spawn_s = self._spawn_pending, self._spawn_seconds
         self._spawn_pending, self._spawn_seconds = 0, 0.0
         if rec.enabled:
@@ -412,8 +436,7 @@ class WorkerPool:
                     collect_s=t2 - t1,
                 )
             )
-        indexed.sort(key=lambda pair: pair[0])
-        return [result for _, result in indexed]
+        return [result for _, result, _ in indexed]
 
     # ------------------------------------------------------------------
     def _supervised_get(self, pending) -> List[tuple]:

@@ -43,11 +43,16 @@ rebuilds exactly those cells' contexts from its global unread mask —
 surviving contexts are preserved — and an active persistent pool is
 respawned so workers fork the refreshed state.
 
-Telemetry: each live cell's solve is replayed in the parent under a
-``shard.solve`` span (worker-side span events are dropped — forked workers
-clone the span-id counter, so their ids cannot be merged), the merge pass
-runs under ``shard.merge``, and a :class:`~repro.obs.events.ShardMerge`
-event carries the slot's work counters.
+Telemetry: each live cell's solve is captured in a bounded worker-side
+relay buffer (:mod:`repro.obs.relay`) — spans included — shipped back on
+the cell's result payload, and replayed in the parent under a
+``shard.solve`` span with its span ids rebased onto the parent counter
+(forked workers clone the counter, so raw worker ids would collide) and
+its roots re-parented under that span; relayed spans carry ``relay_pid`` /
+``relay_cell`` attributes, which the Chrome exporter renders as per-worker
+lanes.  The merge pass runs under ``shard.merge``, and a
+:class:`~repro.obs.events.ShardMerge` event carries the slot's work
+counters.
 """
 
 from __future__ import annotations
@@ -57,13 +62,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.obs.events import (
-    ShardMerge,
-    SpanEnd,
-    SpanStart,
-    TraceRecorder,
-    recording,
-)
+from repro.obs.events import ShardMerge, recording
+from repro.obs.relay import RelayRecorder, relay_payload, replay_events
 from repro.obs.spans import span
 from repro.model.system import build_system
 from repro.perf.parallel import fork_map, in_pool_worker, resolve_workers
@@ -309,11 +309,11 @@ class ShardRuntime:
 
         parts: List[np.ndarray] = []
         halo_total = 0
-        for idx, (active_global, events) in zip(live, outputs):
+        for idx, (active_global, relayed) in zip(live, outputs):
             cell = self.partition.cells[idx]
             halo_total += int(len(cell.halo_reader_ids))
             parts.append(active_global)
-            if rec.enabled:
+            if rec.enabled and relayed is not None:
                 with span(
                     "shard.solve",
                     slot=slot,
@@ -321,8 +321,7 @@ class ShardRuntime:
                     readers=int(len(cell.all_reader_ids)),
                     halo=int(len(cell.halo_reader_ids)),
                 ):
-                    for event in events:
-                        rec.emit(event)
+                    replay_events(relayed, rec, cell=int(idx))
 
         merged = (
             np.sort(np.concatenate(parts))
@@ -357,7 +356,9 @@ class ShardRuntime:
         non-empty local suspicion mask routes the solve through a degraded
         subsystem over the unsuspected local readers (no warm-start context
         — the cell context indexes the full subsystem).  Returns ``(owned
-        active readers as global ids, captured non-span events)`` — only
+        active readers as global ids, relay payload)`` — the relay payload
+        (:func:`repro.obs.relay.relay_payload`, ``None`` with telemetry
+        off) carries the solve's full captured trace, spans included; only
         picklable values cross the process boundary.
         """
         idx, seed = payload[0], payload[1]
@@ -371,26 +372,25 @@ class ShardRuntime:
         if susp is not None and bool(susp.any()):
             live_local = np.flatnonzero(~susp)
             if live_local.size == 0:
-                return np.empty(0, dtype=np.int64), []
+                # nothing to solve; ship an empty relay payload so the
+                # parent still opens the cell's shard.solve span
+                empty = relay_payload(RelayRecorder()) if self._collect else None
+                return np.empty(0, dtype=np.int64), empty
             system = self._degraded_subsystem(idx, cell, susp, live_local)
         elif self._takes_context and self.incremental:
             kwargs["context"] = ctx
         if self._collect:
-            with recording(TraceRecorder()) as local:
+            with recording(RelayRecorder()) as local:
                 result = self._solver(system, ctx.unread, local_rng, **kwargs)
-            events = [
-                e
-                for e in local.events
-                if not isinstance(e, (SpanStart, SpanEnd))
-            ]
+            relayed = relay_payload(local)
         else:
             result = self._solver(system, ctx.unread, local_rng, **kwargs)
-            events = []
+            relayed = None
         active_local = np.asarray(result.active, dtype=np.int64)
         if live_local is not None:
             active_local = live_local[active_local]
         owned = active_local[cell.owned_reader_mask[active_local]]
-        return cell.all_reader_ids[owned], events
+        return cell.all_reader_ids[owned], relayed
 
     def _degraded_subsystem(self, idx: int, cell, susp, live_local):
         """The cell's subsystem restricted to unsuspected local readers —

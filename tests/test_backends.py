@@ -249,7 +249,9 @@ def _counters(collector):
     return {
         k: v
         for k, v in collector.summary().items()
-        if "wall_clock" not in k and not k.endswith("_seconds_by_name")
+        if "wall_clock" not in k
+        and not k.endswith("_seconds_by_name")
+        and k != "histograms"  # wall-clock distributions, machine-local
     }
 
 

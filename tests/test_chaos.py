@@ -37,7 +37,9 @@ def _pinned(metrics):
     """The machine- and worker-count-independent metric subset."""
     return {
         k: v for k, v in metrics.items()
-        if not k.endswith(("_s", "_by_name")) and not k.startswith("pool_")
+        if not k.endswith(("_s", "_by_name"))
+        and not k.startswith("pool_")
+        and k != "histograms"  # wall-clock distributions, machine-local
     }
 
 
@@ -93,9 +95,11 @@ class TestSweep:
         for a, b in zip(sweep_records, again):
             assert a["label"] == b["label"]
             m_a = {k: v for k, v in a["metrics"].items()
-                   if not k.endswith(("_s", "_by_name"))}
+                   if not k.endswith(("_s", "_by_name"))
+                   and k != "histograms"}
             m_b = {k: v for k, v in b["metrics"].items()
-                   if not k.endswith(("_s", "_by_name"))}
+                   if not k.endswith(("_s", "_by_name"))
+                   and k != "histograms"}
             assert m_a == m_b
 
     def test_table_lists_every_record(self, sweep_records):

@@ -104,7 +104,7 @@ class TestDefaultPathIdentity:
                 )
             metrics = collector.summary()
             for key in ("solver_wall_clock_s", "solver_seconds_by_name",
-                        "stage_seconds_by_name"):
+                        "stage_seconds_by_name", "histograms"):
                 metrics.pop(key, None)
             return result, metrics
 

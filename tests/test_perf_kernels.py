@@ -324,7 +324,9 @@ def _strip_volatile(record):
     metrics = {
         k: v
         for k, v in record["metrics"].items()
-        if "wall_clock" not in k and not k.endswith("_seconds_by_name")
+        if "wall_clock" not in k
+        and not k.endswith("_seconds_by_name")
+        and k != "histograms"  # wall-clock distributions, machine-local
     }
     return {
         "bench": record["bench"],

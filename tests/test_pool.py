@@ -55,6 +55,8 @@ TIMING = (
     "pool_payload_bytes",
     "pool_respawns",
     "pool_deadline_hits",
+    "relay_dropped_events",
+    "histograms",
 )
 
 

@@ -286,7 +286,7 @@ def test_scale_smoke_end_to_end(tmp_path, backend):
 
     # ident pair: identical work counters (the bit-identity certificate)
     base, trivial = runs[0], runs[1]
-    noise = ("_s", "_by_name", "_kb")
+    noise = ("_s", "_by_name", "_kb", "histograms")
     strip = lambda m: {k: v for k, v in m.items() if not k.endswith(noise)}
     assert strip(base["metrics"]) == strip(trivial["metrics"])
 
